@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark / experiment harness.
+
+Every benchmark module regenerates one table or figure of the designed
+evaluation (see DESIGN.md and EXPERIMENTS.md).  Because ``pytest`` captures
+stdout by default, each experiment's rendered output is also written to
+``benchmarks/results/<experiment id>.txt`` so the regenerated tables survive
+a plain ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.analysis.figures import Figure
+from repro.analysis.tables import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(experiment_id: str, rendered: Union[str, Table, Figure]) -> str:
+    """Print and persist the rendered output of one experiment."""
+    if isinstance(rendered, Table):
+        text = rendered.render()
+    elif isinstance(rendered, Figure):
+        text = rendered.render()
+    else:
+        text = str(rendered)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n===== {experiment_id} =====")
+    print(text)
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing and return its result."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,78 @@
+"""Table 3 — scheduling cost of the planners.
+
+The paper claims a provably correct *quadratic-time* algorithm.  This
+benchmark measures the wall-clock cost of the ``O(n log n)`` greedy planner
+and of the explicit ``O(n^2)`` scan variant over growing bundle sizes and
+checks the growth is polynomial and mild (the quadratic variant's cost ratio
+between consecutive size doublings stays well below cubic growth).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _harness import emit, run_once
+
+from repro.analysis.tables import Table
+from repro.core.planner import plan_delivery_order, plan_delivery_order_quadratic
+from repro.core.safety import ExchangeRequirements
+from repro.core.valuation import MarginValuationModel, make_bundle
+
+SIZES = (25, 50, 100, 200, 400)
+REPEATS = 20
+
+
+def _time_planner(planner, bundle, price, requirements) -> float:
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        order = planner(bundle, price, requirements)
+        assert order is not None
+    return (time.perf_counter() - start) / REPEATS
+
+
+def build_table() -> Table:
+    table = Table(
+        ["bundle size", "greedy (ms)", "quadratic scan (ms)"],
+        title="Table 3: planner cost vs bundle size",
+    )
+    model = MarginValuationModel(margin_low=-0.3, margin_high=0.6)
+    requirements = ExchangeRequirements(
+        consumer_accepted_exposure=1000.0, supplier_accepted_exposure=1000.0
+    )
+    for size in SIZES:
+        bundle = make_bundle(model, size, seed=size)
+        price = (bundle.total_supplier_cost + bundle.total_consumer_value) / 2.0
+        greedy_seconds = _time_planner(
+            plan_delivery_order, bundle, price, requirements
+        )
+        quadratic_seconds = _time_planner(
+            plan_delivery_order_quadratic, bundle, price, requirements
+        )
+        table.add_row(size, greedy_seconds * 1000.0, quadratic_seconds * 1000.0)
+    return table
+
+
+def test_table3_planner_cost(benchmark):
+    table = run_once(benchmark, build_table)
+    emit("table3_planner_cost", table)
+    quadratic_times = table.column("quadratic scan (ms)")
+    greedy_times = table.column("greedy (ms)")
+    # Cost grows with size but stays far below cubic blow-up: going from 100
+    # to 400 items (4x) must not inflate the quadratic variant by more than
+    # ~64x (with slack for timer noise), nor the greedy one by more than ~16x.
+    assert quadratic_times[-1] / max(quadratic_times[2], 1e-6) < 64.0
+    assert greedy_times[-1] / max(greedy_times[2], 1e-6) < 16.0
+    # The largest instance still plans in well under 100 ms.
+    assert quadratic_times[-1] < 100.0
+
+
+def test_planner_call_microbenchmark(benchmark):
+    """Raw pytest-benchmark timing of one planner call on a 100-item bundle."""
+    model = MarginValuationModel(margin_low=-0.3, margin_high=0.6)
+    bundle = make_bundle(model, 100, seed=7)
+    price = (bundle.total_supplier_cost + bundle.total_consumer_value) / 2.0
+    requirements = ExchangeRequirements(
+        consumer_accepted_exposure=1000.0, supplier_accepted_exposure=1000.0
+    )
+    order = benchmark(plan_delivery_order, bundle, price, requirements)
+    assert order is not None

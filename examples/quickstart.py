@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: trust-aware safe exchange in a dozen lines.
+
+A supplier sells three goods to a consumer for an agreed price.  A fully safe
+schedule (nobody ever tempted to defect) does not exist for these valuations
+— which is the paper's motivating observation — but two partners that trust
+each other can still schedule the exchange by accepting a bounded exposure.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    ExchangeRequirements,
+    ExpectedLossBudgetPolicy,
+    GoodsBundle,
+    plan_exchange,
+    plan_trust_aware_exchange,
+    verify_sequence,
+)
+
+
+def main() -> None:
+    # The goods: supplier cost Vs(x) and consumer value Vc(x) per item.
+    bundle = GoodsBundle.from_pairs(
+        {
+            "design-document": (4.0, 9.0),
+            "prototype": (8.0, 13.0),
+            "user-manual": (2.0, 3.0),
+        }
+    )
+    price = 18.0
+    print(f"Bundle: {bundle}")
+    print(f"Agreed price: {price:.2f}")
+    print(f"Supplier gain if completed: {price - bundle.total_supplier_cost:.2f}")
+    print(f"Consumer gain if completed: {bundle.total_consumer_value - price:.2f}")
+    print()
+
+    # 1. Fully safe exchange (Sandholm): does a schedule exist in which no
+    #    party is ever tempted to defect?
+    fully_safe = plan_exchange(bundle, price, ExchangeRequirements.fully_safe())
+    print(f"Fully safe schedule exists: {fully_safe is not None}")
+
+    # 2. Trust-aware exchange (the paper's contribution): both partners turn
+    #    their trust estimate and risk attitude into an accepted exposure.
+    plan = plan_trust_aware_exchange(
+        bundle,
+        price,
+        supplier_trust_in_consumer=0.90,
+        consumer_trust_in_supplier=0.85,
+        supplier_policy=ExpectedLossBudgetPolicy(budget_fraction=0.5),
+        consumer_policy=ExpectedLossBudgetPolicy(budget_fraction=0.5),
+    )
+    print()
+    print(plan.describe())
+    if not plan.agreed:
+        print("The partners do not trust each other enough for this exchange.")
+        return
+
+    print()
+    print("Agreed schedule:")
+    print(plan.sequence.describe())
+
+    # 3. Independent verification: every intermediate state respects the
+    #    temptation allowances derived from the partners' trust.
+    report = verify_sequence(plan.sequence, plan.requirements)
+    print()
+    print(f"Verification: {report.describe()}")
+
+
+if __name__ == "__main__":
+    main()

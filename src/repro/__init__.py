@@ -1,0 +1,72 @@
+"""Trust-Aware Cooperation — reproduction library.
+
+A Python implementation of the trust-aware safe-exchange mechanism of
+Despotovic, Aberer & Hauswirth (ICDCS 2002) together with every substrate the
+paper depends on: Sandholm-style safe exchange planning, Bayesian and
+complaint-based trust learning, decentralised (P-Grid style) reputation
+storage, a discrete-event peer community simulator, a marketplace layer and
+baseline exchange strategies.
+
+Most users only need the re-exports below; the subpackages are:
+
+``repro.core``
+    Goods model, safety analysis, safe-exchange planner, trust-aware planner,
+    decision making and price negotiation.
+``repro.trust``
+    Trust learning: beta (Bayesian) and complaint-based models.
+``repro.reputation``
+    Reputation management: records, stores, reporting, manager façade.
+``repro.pgrid``
+    Decentralised binary-trie storage substrate for reputation data.
+``repro.simulation``
+    Discrete-event simulator: engine, network, peers, behaviours, community.
+``repro.marketplace``
+    Listings, matching, exchange execution with defection, accounting.
+``repro.baselines``
+    Non-trust-aware exchange strategies used for comparison.
+``repro.workloads``
+    Valuation, population and scenario generators.
+``repro.analysis``
+    Statistics, table/series rendering and experiment helpers.
+"""
+
+from repro.core import (
+    DecisionMaker,
+    ExchangeAction,
+    ExchangeRequirements,
+    ExchangeSequence,
+    ExchangeState,
+    ExpectedLossBudgetPolicy,
+    FractionalGainPolicy,
+    Good,
+    GoodsBundle,
+    PartnerModel,
+    PaymentPolicy,
+    TrustAwareExchangePlanner,
+    TrustAwarePlan,
+    plan_exchange,
+    plan_trust_aware_exchange,
+    verify_sequence,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Good",
+    "GoodsBundle",
+    "ExchangeAction",
+    "ExchangeState",
+    "ExchangeSequence",
+    "ExchangeRequirements",
+    "PaymentPolicy",
+    "plan_exchange",
+    "verify_sequence",
+    "DecisionMaker",
+    "FractionalGainPolicy",
+    "ExpectedLossBudgetPolicy",
+    "PartnerModel",
+    "TrustAwarePlan",
+    "TrustAwareExchangePlanner",
+    "plan_trust_aware_exchange",
+]

@@ -1,0 +1,24 @@
+"""Analysis toolkit: statistics, tables, figures and experiment helpers."""
+
+from repro.analysis.experiments import (
+    ExperimentRegistry,
+    SweepResult,
+    replicate,
+    sweep,
+)
+from repro.analysis.figures import Figure, Series
+from repro.analysis.stats import SummaryStats, confidence_interval, summarize
+from repro.analysis.tables import Table
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "confidence_interval",
+    "Table",
+    "Series",
+    "Figure",
+    "SweepResult",
+    "sweep",
+    "replicate",
+    "ExperimentRegistry",
+]

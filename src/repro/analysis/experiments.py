@@ -1,0 +1,88 @@
+"""Helpers for running parameter sweeps and replicated experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.analysis.stats import SummaryStats, summarize
+from repro.exceptions import AnalysisError
+
+__all__ = ["SweepResult", "sweep", "replicate", "ExperimentRegistry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Result of evaluating a function over a parameter grid."""
+
+    parameter_name: str
+    values: Tuple[Any, ...]
+    results: Tuple[Any, ...]
+
+    def as_pairs(self) -> List[Tuple[Any, Any]]:
+        return list(zip(self.values, self.results))
+
+
+def sweep(
+    parameter_name: str,
+    values: Sequence[Any],
+    fn: Callable[[Any], T],
+) -> SweepResult:
+    """Evaluate ``fn`` for every parameter value, preserving order."""
+    if not values:
+        raise AnalysisError("sweep requires at least one parameter value")
+    results = tuple(fn(value) for value in values)
+    return SweepResult(
+        parameter_name=parameter_name, values=tuple(values), results=results
+    )
+
+
+def replicate(
+    fn: Callable[[int], float], seeds: Iterable[int], confidence: float = 0.95
+) -> SummaryStats:
+    """Run ``fn(seed)`` for every seed and summarise the scalar results."""
+    values = [float(fn(seed)) for seed in seeds]
+    if not values:
+        raise AnalysisError("replicate requires at least one seed")
+    return summarize(values, confidence=confidence)
+
+
+class ExperimentRegistry:
+    """A tiny registry mapping experiment ids to callables producing output.
+
+    Used by the benchmark harness to keep the per-table/figure entry points
+    discoverable programmatically (e.g. for regenerating EXPERIMENTS.md).
+    """
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Callable[[], Any]] = {}
+        self._descriptions: Dict[str, str] = {}
+
+    def register(
+        self, experiment_id: str, description: str
+    ) -> Callable[[Callable[[], Any]], Callable[[], Any]]:
+        """Decorator registering an experiment entry point."""
+
+        def decorator(fn: Callable[[], Any]) -> Callable[[], Any]:
+            if experiment_id in self._experiments:
+                raise AnalysisError(f"experiment {experiment_id!r} already registered")
+            self._experiments[experiment_id] = fn
+            self._descriptions[experiment_id] = description
+            return fn
+
+        return decorator
+
+    def run(self, experiment_id: str) -> Any:
+        if experiment_id not in self._experiments:
+            raise AnalysisError(f"unknown experiment {experiment_id!r}")
+        return self._experiments[experiment_id]()
+
+    def ids(self) -> List[str]:
+        return sorted(self._experiments)
+
+    def description(self, experiment_id: str) -> str:
+        if experiment_id not in self._descriptions:
+            raise AnalysisError(f"unknown experiment {experiment_id!r}")
+        return self._descriptions[experiment_id]

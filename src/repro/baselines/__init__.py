@@ -1,0 +1,18 @@
+"""Baseline exchange strategies the trust-aware approach is compared against."""
+
+from repro.baselines.safe_only import SafeOnlyStrategy
+from repro.baselines.strategies import (
+    AlternatingStrategy,
+    GoodsFirstStrategy,
+    PaymentFirstStrategy,
+)
+from repro.baselines.trust_unaware import FixedExposureStrategy, OptimisticStrategy
+
+__all__ = [
+    "GoodsFirstStrategy",
+    "PaymentFirstStrategy",
+    "AlternatingStrategy",
+    "SafeOnlyStrategy",
+    "FixedExposureStrategy",
+    "OptimisticStrategy",
+]

@@ -1,0 +1,63 @@
+"""The fully-safe-only baseline (Sandholm's original setting).
+
+This strategy only trades when a schedule exists in which *no* temptation
+ever exceeds the parties' reputation continuation values — i.e. the exchange
+is self-enforcing for rational partners without anyone accepting trust-based
+exposure.  It is the natural comparison point for the paper's contribution:
+it never loses value to defectors, but it declines every trade whose
+valuations do not admit a safe schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.exchange import ExchangeSequence
+from repro.core.goods import GoodsBundle
+from repro.core.planner import PaymentPolicy, plan_exchange
+from repro.core.safety import ExchangeRequirements
+from repro.marketplace.strategy import ExchangeStrategy, StrategyContext
+
+__all__ = ["SafeOnlyStrategy"]
+
+
+class SafeOnlyStrategy(ExchangeStrategy):
+    """Trade only when a fully safe schedule exists."""
+
+    name = "safe-only"
+
+    def __init__(
+        self,
+        use_reputation_continuation: bool = True,
+        payment_policy: PaymentPolicy = PaymentPolicy.LAZY,
+        strict: bool = False,
+    ):
+        self._use_reputation_continuation = use_reputation_continuation
+        self._payment_policy = payment_policy
+        self._strict = strict
+
+    def plan(
+        self,
+        bundle: GoodsBundle,
+        price: float,
+        context: StrategyContext,
+    ) -> Optional[ExchangeSequence]:
+        if self._use_reputation_continuation:
+            requirements = ExchangeRequirements(
+                supplier_defection_penalty=context.supplier_defection_penalty,
+                consumer_defection_penalty=context.consumer_defection_penalty,
+                strict=self._strict,
+            )
+        else:
+            requirements = (
+                ExchangeRequirements.isolated_strict()
+                if self._strict
+                else ExchangeRequirements.fully_safe()
+            )
+        return plan_exchange(bundle, price, requirements, self._payment_policy)
+
+    def describe(self) -> str:
+        continuation = (
+            "with-reputation" if self._use_reputation_continuation else "isolated"
+        )
+        return f"{self.name}({continuation})"

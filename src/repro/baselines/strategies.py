@@ -1,0 +1,127 @@
+"""Naive exchange strategies used as comparison baselines.
+
+These strategies ignore trust entirely and schedule the exchange by a fixed
+rule.  They correspond to the two "extremes" the paper's introduction
+describes (goods before money, money before goods) plus the common-sense
+alternating schedule in between.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.exchange import ExchangeAction, ExchangeSequence
+from repro.core.goods import GoodsBundle
+from repro.core.numeric import EPSILON
+from repro.marketplace.strategy import ExchangeStrategy, StrategyContext
+
+__all__ = [
+    "GoodsFirstStrategy",
+    "PaymentFirstStrategy",
+    "AlternatingStrategy",
+]
+
+
+class GoodsFirstStrategy(ExchangeStrategy):
+    """Deliver every good first, collect the full payment at the end.
+
+    The supplier carries the whole exposure: a dishonest consumer simply
+    keeps the goods and never pays.
+    """
+
+    name = "goods-first"
+
+    def plan(
+        self,
+        bundle: GoodsBundle,
+        price: float,
+        context: StrategyContext,
+    ) -> Optional[ExchangeSequence]:
+        if price < 0:
+            return None
+        actions: List[ExchangeAction] = [
+            ExchangeAction.deliver(good) for good in bundle
+        ]
+        if price > EPSILON:
+            actions.append(ExchangeAction.pay(price))
+        return ExchangeSequence(bundle, price, actions)
+
+
+class PaymentFirstStrategy(ExchangeStrategy):
+    """Collect the full payment first, deliver every good afterwards.
+
+    The consumer carries the whole exposure: a dishonest supplier keeps the
+    money and never delivers.
+    """
+
+    name = "payment-first"
+
+    def plan(
+        self,
+        bundle: GoodsBundle,
+        price: float,
+        context: StrategyContext,
+    ) -> Optional[ExchangeSequence]:
+        if price < 0:
+            return None
+        actions: List[ExchangeAction] = []
+        if price > EPSILON:
+            actions.append(ExchangeAction.pay(price))
+        actions.extend(ExchangeAction.deliver(good) for good in bundle)
+        return ExchangeSequence(bundle, price, actions)
+
+
+class AlternatingStrategy(ExchangeStrategy):
+    """Deliver one good, collect a proportional payment chunk, repeat.
+
+    The payment after each delivery is proportional to the consumer value of
+    the good just delivered (falling back to equal chunks for worthless
+    bundles).  This splits the exposure between the two sides but pays no
+    attention to whether the induced temptations are acceptable to anyone.
+    """
+
+    name = "alternating"
+
+    def __init__(self, pay_before_delivery: bool = False):
+        self._pay_before_delivery = pay_before_delivery
+
+    def plan(
+        self,
+        bundle: GoodsBundle,
+        price: float,
+        context: StrategyContext,
+    ) -> Optional[ExchangeSequence]:
+        if price < 0:
+            return None
+        goods = list(bundle)
+        total_value = bundle.total_consumer_value
+        actions: List[ExchangeAction] = []
+        paid_so_far = 0.0
+        for index, good in enumerate(goods):
+            is_last = index == len(goods) - 1
+            if total_value > EPSILON:
+                share = good.consumer_value / total_value
+            else:
+                share = 1.0 / len(goods)
+            chunk = price - paid_so_far if is_last else price * share
+            chunk = max(0.0, min(chunk, price - paid_so_far))
+            if self._pay_before_delivery:
+                if chunk > EPSILON:
+                    actions.append(ExchangeAction.pay(chunk))
+                    paid_so_far += chunk
+                actions.append(ExchangeAction.deliver(good))
+            else:
+                actions.append(ExchangeAction.deliver(good))
+                if chunk > EPSILON:
+                    actions.append(ExchangeAction.pay(chunk))
+                    paid_so_far += chunk
+        remaining = price - paid_so_far
+        if remaining > EPSILON:
+            actions.append(ExchangeAction.pay(remaining))
+        if not goods and price > EPSILON and not actions:
+            actions.append(ExchangeAction.pay(price))
+        return ExchangeSequence(bundle, price, actions)
+
+    def describe(self) -> str:
+        order = "pay-then-deliver" if self._pay_before_delivery else "deliver-then-pay"
+        return f"{self.name}({order})"

@@ -1,0 +1,202 @@
+"""Command-line interface for quick experiments.
+
+Three subcommands cover the common interactive uses of the library:
+
+``repro plan``
+    Plan a trust-aware exchange for an ad-hoc bundle given on the command
+    line and print the schedule plus the safety verification.
+``repro scenario``
+    Run one of the named community scenarios with a chosen exchange strategy
+    and print the outcome summary.
+``repro tolerance``
+    Report how much combined tolerance (continuation value / accepted
+    exposure) a bundle needs to become schedulable, and the repeated-game
+    discount threshold that would sustain it.
+
+The module is also exposed as a console entry point (``repro``) and can be
+invoked with ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from repro.baselines import (
+    AlternatingStrategy,
+    FixedExposureStrategy,
+    GoodsFirstStrategy,
+    OptimisticStrategy,
+    PaymentFirstStrategy,
+    SafeOnlyStrategy,
+)
+from repro.core.decision import ExpectedLossBudgetPolicy
+from repro.core.gametheory import cooperation_discount_threshold
+from repro.core.goods import GoodsBundle
+from repro.core.planner import required_total_tolerance
+from repro.core.safety import rational_price_range
+from repro.core.trust_aware import plan_trust_aware_exchange
+from repro.core.safety import verify_sequence
+from repro.exceptions import ReproError
+from repro.marketplace import TrustAwareStrategy
+from repro.workloads import SCENARIO_NAMES, build_scenario
+
+__all__ = ["main", "build_parser"]
+
+STRATEGY_FACTORIES = {
+    "trust-aware": TrustAwareStrategy,
+    "safe-only": SafeOnlyStrategy,
+    "goods-first": GoodsFirstStrategy,
+    "payment-first": PaymentFirstStrategy,
+    "alternating": AlternatingStrategy,
+    "fixed-exposure": FixedExposureStrategy,
+    "optimistic": OptimisticStrategy,
+}
+
+
+def _parse_bundle(items: Sequence[str]) -> GoodsBundle:
+    """Parse ``name=cost:value`` item specifications into a bundle."""
+    pairs = {}
+    for item in items:
+        try:
+            name, valuation = item.split("=", 1)
+            cost_text, value_text = valuation.split(":", 1)
+            pairs[name] = (float(cost_text), float(value_text))
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(
+                f"invalid item {item!r}; expected name=cost:value"
+            ) from exc
+    return GoodsBundle.from_pairs(pairs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trust-aware safe exchange (ICDCS 2002 reproduction) CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    plan_parser = subparsers.add_parser(
+        "plan", help="plan a trust-aware exchange for an ad-hoc bundle"
+    )
+    plan_parser.add_argument(
+        "items",
+        nargs="+",
+        help="goods as name=supplier_cost:consumer_value (e.g. book=4:9)",
+    )
+    plan_parser.add_argument("--price", type=float, default=None,
+                             help="agreed price (default: mid of the rational range)")
+    plan_parser.add_argument("--supplier-trust", type=float, default=0.8,
+                             help="supplier's trust in the consumer")
+    plan_parser.add_argument("--consumer-trust", type=float, default=0.8,
+                             help="consumer's trust in the supplier")
+    plan_parser.add_argument("--budget", type=float, default=0.5,
+                             help="expected-loss budget fraction of both parties")
+
+    scenario_parser = subparsers.add_parser(
+        "scenario", help="run a named community scenario"
+    )
+    scenario_parser.add_argument("name", choices=SCENARIO_NAMES)
+    scenario_parser.add_argument("--strategy", choices=sorted(STRATEGY_FACTORIES),
+                                 default="trust-aware")
+    scenario_parser.add_argument("--size", type=int, default=16)
+    scenario_parser.add_argument("--rounds", type=int, default=25)
+    scenario_parser.add_argument("--dishonest", type=float, default=0.25,
+                                 help="fraction of dishonest peers")
+    scenario_parser.add_argument("--seed", type=int, default=0)
+
+    tolerance_parser = subparsers.add_parser(
+        "tolerance",
+        help="required tolerance and cooperation threshold for a bundle",
+    )
+    tolerance_parser.add_argument(
+        "items", nargs="+", help="goods as name=supplier_cost:consumer_value"
+    )
+    tolerance_parser.add_argument("--price", type=float, default=None)
+    return parser
+
+
+def _default_price(bundle: GoodsBundle, price: Optional[float]) -> float:
+    if price is not None:
+        return price
+    low, high = rational_price_range(bundle)
+    return (low + high) / 2.0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    bundle = _parse_bundle(args.items)
+    price = _default_price(bundle, args.price)
+    plan = plan_trust_aware_exchange(
+        bundle,
+        price,
+        supplier_trust_in_consumer=args.supplier_trust,
+        consumer_trust_in_supplier=args.consumer_trust,
+        supplier_policy=ExpectedLossBudgetPolicy(budget_fraction=args.budget),
+        consumer_policy=ExpectedLossBudgetPolicy(budget_fraction=args.budget),
+    )
+    print(plan.describe())
+    if plan.sequence is None:
+        print("No schedule satisfies the partners' accepted exposures.")
+        return 1
+    print()
+    print(plan.sequence.describe())
+    print()
+    print(verify_sequence(plan.sequence, plan.requirements).describe())
+    return 0 if plan.agreed else 1
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    strategy = STRATEGY_FACTORIES[args.strategy]()
+    scenario = build_scenario(
+        args.name,
+        size=args.size,
+        rounds=args.rounds,
+        dishonest_fraction=args.dishonest,
+        seed=args.seed,
+    )
+    result = scenario.simulation(strategy).run()
+    print(f"Scenario:          {args.name}")
+    print(f"Strategy:          {result.strategy_name}")
+    print(f"Attempted trades:  {result.accounts.attempted}")
+    print(f"Completed trades:  {result.accounts.completed}")
+    print(f"Declined trades:   {result.accounts.declined}")
+    print(f"Defections:        {result.accounts.defections}")
+    print(f"Completion rate:   {result.completion_rate:.3f}")
+    print(f"Honest welfare:    {result.honest_welfare():.1f}")
+    print(f"Honest losses:     {result.honest_losses():.1f}")
+    return 0
+
+
+def _command_tolerance(args: argparse.Namespace) -> int:
+    bundle = _parse_bundle(args.items)
+    price = _default_price(bundle, args.price)
+    tolerance = required_total_tolerance(bundle, price)
+    threshold = cooperation_discount_threshold(bundle, price)
+    print(f"Bundle:                     {bundle}")
+    print(f"Price:                      {price:.3f}")
+    print(f"Required total tolerance:   {tolerance:.3f}")
+    if threshold is None:
+        print("Repeated-exchange cooperation: not sustainable at this price")
+    else:
+        print(f"Cooperation discount threshold: {threshold:.3f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "plan":
+            return _command_plan(args)
+        if args.command == "scenario":
+            return _command_scenario(args)
+        return _command_tolerance(args)
+    except (ReproError, argparse.ArgumentTypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

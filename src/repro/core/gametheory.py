@@ -1,0 +1,280 @@
+"""Game-theoretic extension of trust-aware exchange (the paper's future work).
+
+The paper closes with: "Future work will consider a game-theoretic extension
+of this work arising when the partners are interested in maximizing their
+gains from the exchanges."  This module implements two such extensions:
+
+* **Repeated-exchange cooperation analysis** — when the same partners expect
+  to keep trading, a defection forfeits the discounted stream of future
+  gains.  :func:`continuation_value` computes that stream,
+  :func:`cooperation_discount_threshold` the smallest discount factor for
+  which honest execution of a bundle/price pair becomes self-enforcing
+  (i.e. the realised temptations of some schedule are covered by each side's
+  continuation value).
+* **Exposure game** — each partner strategically chooses how much exposure to
+  accept, trading off the probability of completing the exchange against the
+  expected loss if the partner defects.  :class:`ExposureGame` computes best
+  responses over a grid of exposure levels and finds a (pure-strategy)
+  equilibrium by iterated best response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.exchange import ExchangeSequence
+from repro.core.goods import GoodsBundle
+from repro.core.numeric import EPSILON
+from repro.core.planner import PaymentPolicy, plan_exchange
+from repro.core.safety import ExchangeRequirements
+from repro.exceptions import DecisionError
+
+__all__ = [
+    "continuation_value",
+    "cooperation_discount_threshold",
+    "ExposureGame",
+    "EquilibriumResult",
+]
+
+
+def continuation_value(per_round_gain: float, discount_factor: float) -> float:
+    """Present value of the future gains a defector forfeits.
+
+    With a per-round gain ``g`` and discount factor ``delta`` the defector
+    loses ``delta * g / (1 - delta)`` — the standard grim-trigger
+    continuation value of an infinitely repeated interaction.
+    """
+    if per_round_gain < 0:
+        raise DecisionError(f"per_round_gain must be >= 0, got {per_round_gain}")
+    if not 0.0 <= discount_factor < 1.0:
+        raise DecisionError(
+            f"discount_factor must lie in [0, 1), got {discount_factor}"
+        )
+    return discount_factor * per_round_gain / (1.0 - discount_factor)
+
+
+def _self_enforcing(
+    bundle: GoodsBundle,
+    price: float,
+    supplier_continuation: float,
+    consumer_continuation: float,
+    payment_policy: PaymentPolicy,
+) -> bool:
+    """Whether some schedule keeps every temptation within the continuation values."""
+    requirements = ExchangeRequirements(
+        supplier_defection_penalty=supplier_continuation,
+        consumer_defection_penalty=consumer_continuation,
+    )
+    sequence = plan_exchange(bundle, price, requirements, payment_policy)
+    if sequence is None:
+        return False
+    return (
+        sequence.max_supplier_temptation <= supplier_continuation + EPSILON
+        and sequence.max_consumer_temptation <= consumer_continuation + EPSILON
+    )
+
+
+def cooperation_discount_threshold(
+    bundle: GoodsBundle,
+    price: float,
+    payment_policy: PaymentPolicy = PaymentPolicy.MINIMAL_EXPOSURE,
+    precision: float = 1e-4,
+) -> Optional[float]:
+    """Smallest discount factor making repeated honest exchange self-enforcing.
+
+    Both partners are assumed to keep exchanging the same bundle at the same
+    price every round; a defector forfeits its own future gains (grim
+    trigger).  Returns ``None`` when even an arbitrarily patient pair cannot
+    sustain cooperation (e.g. one side gains nothing from the trade while
+    still facing a temptation) and ``0.0`` when the exchange is already
+    fully safe without any future to lose.
+    """
+    supplier_gain = price - bundle.total_supplier_cost
+    consumer_gain = bundle.total_consumer_value - price
+    if supplier_gain < -EPSILON or consumer_gain < -EPSILON:
+        return None
+
+    def sustainable(delta: float) -> bool:
+        return _self_enforcing(
+            bundle,
+            price,
+            continuation_value(max(0.0, supplier_gain), delta),
+            continuation_value(max(0.0, consumer_gain), delta),
+            payment_policy,
+        )
+
+    if sustainable(0.0):
+        return 0.0
+    # Probe patience close to 1; if even that fails, cooperation is
+    # unsustainable for this bundle/price split.
+    probe = 1.0 - 1e-6
+    if not sustainable(probe):
+        return None
+    low, high = 0.0, probe
+    while high - low > precision:
+        mid = (low + high) / 2.0
+        if sustainable(mid):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+@dataclass(frozen=True)
+class EquilibriumResult:
+    """Outcome of the exposure game."""
+
+    supplier_exposure: float
+    consumer_exposure: float
+    supplier_utility: float
+    consumer_utility: float
+    schedulable: bool
+    converged: bool
+    iterations: int
+    sequence: Optional[ExchangeSequence] = None
+
+
+class ExposureGame:
+    """Strategic choice of accepted exposures by self-interested partners.
+
+    Each party picks an accepted exposure from a finite grid.  Given both
+    choices the planner either finds a schedule (within the implied
+    allowances) or the trade falls through.  Expected utilities follow the
+    simple threat model of the decision module: the partner defects at the
+    moment of this party's maximal realised exposure with probability
+    ``1 - trust``; otherwise the exchange completes.
+
+    Utility of the consumer for a schedule with realised supplier temptation
+    ``T_s``:  ``trust_c * consumer_gain - (1 - trust_c) * max(0, T_s)``
+    (and symmetrically for the supplier).  Declined trades yield zero for
+    both.
+    """
+
+    def __init__(
+        self,
+        bundle: GoodsBundle,
+        price: float,
+        supplier_trust_in_consumer: float,
+        consumer_trust_in_supplier: float,
+        exposure_grid: Optional[Sequence[float]] = None,
+        payment_policy: PaymentPolicy = PaymentPolicy.MINIMAL_EXPOSURE,
+    ):
+        for name, trust in (
+            ("supplier_trust_in_consumer", supplier_trust_in_consumer),
+            ("consumer_trust_in_supplier", consumer_trust_in_supplier),
+        ):
+            if not 0.0 <= trust <= 1.0:
+                raise DecisionError(f"{name} must lie in [0, 1], got {trust}")
+        self._bundle = bundle
+        self._price = float(price)
+        self._supplier_trust = supplier_trust_in_consumer
+        self._consumer_trust = consumer_trust_in_supplier
+        self._payment_policy = payment_policy
+        if exposure_grid is None:
+            scale = max(
+                bundle.total_supplier_cost, bundle.total_consumer_value, price, 1.0
+            )
+            exposure_grid = [scale * step / 10.0 for step in range(11)]
+        grid = sorted(set(float(value) for value in exposure_grid))
+        if not grid or grid[0] < 0:
+            raise DecisionError("exposure_grid must contain non-negative values")
+        self._grid: Tuple[float, ...] = tuple(grid)
+        self._supplier_gain = max(0.0, self._price - bundle.total_supplier_cost)
+        self._consumer_gain = max(0.0, bundle.total_consumer_value - self._price)
+
+    @property
+    def exposure_grid(self) -> Tuple[float, ...]:
+        return self._grid
+
+    # ------------------------------------------------------------------
+    # Payoffs
+    # ------------------------------------------------------------------
+    def _schedule(
+        self, supplier_exposure: float, consumer_exposure: float
+    ) -> Optional[ExchangeSequence]:
+        requirements = ExchangeRequirements(
+            consumer_accepted_exposure=consumer_exposure,
+            supplier_accepted_exposure=supplier_exposure,
+        )
+        return plan_exchange(
+            self._bundle, self._price, requirements, self._payment_policy
+        )
+
+    def payoffs(
+        self, supplier_exposure: float, consumer_exposure: float
+    ) -> Tuple[float, float]:
+        """Expected utilities ``(supplier, consumer)`` for an exposure pair."""
+        sequence = self._schedule(supplier_exposure, consumer_exposure)
+        if sequence is None:
+            return 0.0, 0.0
+        supplier_risk = max(0.0, sequence.max_consumer_temptation)
+        consumer_risk = max(0.0, sequence.max_supplier_temptation)
+        supplier_utility = (
+            self._supplier_trust * self._supplier_gain
+            - (1.0 - self._supplier_trust) * supplier_risk
+        )
+        consumer_utility = (
+            self._consumer_trust * self._consumer_gain
+            - (1.0 - self._consumer_trust) * consumer_risk
+        )
+        return supplier_utility, consumer_utility
+
+    # ------------------------------------------------------------------
+    # Best responses and equilibrium
+    # ------------------------------------------------------------------
+    def supplier_best_response(self, consumer_exposure: float) -> float:
+        """The supplier's utility-maximising exposure against a fixed consumer choice."""
+        best_value, best_exposure = None, self._grid[0]
+        for exposure in self._grid:
+            utility, _ = self.payoffs(exposure, consumer_exposure)
+            if best_value is None or utility > best_value + EPSILON:
+                best_value, best_exposure = utility, exposure
+        return best_exposure
+
+    def consumer_best_response(self, supplier_exposure: float) -> float:
+        """The consumer's utility-maximising exposure against a fixed supplier choice."""
+        best_value, best_exposure = None, self._grid[0]
+        for exposure in self._grid:
+            _, utility = self.payoffs(supplier_exposure, exposure)
+            if best_value is None or utility > best_value + EPSILON:
+                best_value, best_exposure = utility, exposure
+        return best_exposure
+
+    def find_equilibrium(self, max_iterations: int = 50) -> EquilibriumResult:
+        """Iterated best response from the most cautious profile.
+
+        Converges to a pure-strategy equilibrium of the grid game whenever
+        iterated best response cycles back to a fixed point within
+        ``max_iterations``; otherwise the last profile is returned with
+        ``converged=False``.
+        """
+        supplier_exposure = self._grid[0]
+        consumer_exposure = self._grid[0]
+        converged = False
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            next_supplier = self.supplier_best_response(consumer_exposure)
+            next_consumer = self.consumer_best_response(next_supplier)
+            if (
+                abs(next_supplier - supplier_exposure) <= EPSILON
+                and abs(next_consumer - consumer_exposure) <= EPSILON
+            ):
+                converged = True
+                supplier_exposure, consumer_exposure = next_supplier, next_consumer
+                break
+            supplier_exposure, consumer_exposure = next_supplier, next_consumer
+        supplier_utility, consumer_utility = self.payoffs(
+            supplier_exposure, consumer_exposure
+        )
+        sequence = self._schedule(supplier_exposure, consumer_exposure)
+        return EquilibriumResult(
+            supplier_exposure=supplier_exposure,
+            consumer_exposure=consumer_exposure,
+            supplier_utility=supplier_utility,
+            consumer_utility=consumer_utility,
+            schedulable=sequence is not None,
+            converged=converged,
+            iterations=iterations,
+            sequence=sequence,
+        )

@@ -1,0 +1,160 @@
+"""Price negotiation between supplier and consumer.
+
+The paper assumes the partners "agreed about the overall price the consumer
+will have to pay".  For the community simulation and the examples we need a
+way to produce that agreement.  Two mechanisms are provided:
+
+* :func:`split_surplus_price` — a one-shot rule dividing the trade surplus
+  between the two parties according to a share parameter, and
+* :class:`AlternatingOffersNegotiation` — a simple alternating-offers
+  protocol with concession rates and reserve prices, producing a
+  :class:`NegotiationOutcome` (or failing when the reserves do not overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.goods import GoodsBundle
+from repro.core.numeric import EPSILON
+from repro.core.safety import rational_price_range
+from repro.exceptions import NegotiationError
+
+__all__ = [
+    "NegotiationOutcome",
+    "split_surplus_price",
+    "AlternatingOffersNegotiation",
+]
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """Result of a price negotiation."""
+
+    price: float
+    rounds: int
+    supplier_gain: float
+    consumer_gain: float
+    offer_history: Tuple[float, ...] = ()
+
+    @property
+    def total_surplus(self) -> float:
+        return self.supplier_gain + self.consumer_gain
+
+
+def split_surplus_price(
+    bundle: GoodsBundle, supplier_share: float = 0.5
+) -> NegotiationOutcome:
+    """Price that gives the supplier ``supplier_share`` of the trade surplus.
+
+    ``supplier_share = 0`` prices at the supplier's total cost (all surplus to
+    the consumer), ``supplier_share = 1`` prices at the consumer's total value.
+    Raises :class:`NegotiationError` when the trade has negative surplus.
+    """
+    if not 0.0 <= supplier_share <= 1.0:
+        raise NegotiationError(
+            f"supplier_share must lie in [0, 1], got {supplier_share}"
+        )
+    try:
+        low, high = rational_price_range(bundle)
+    except Exception as exc:  # InvalidPriceError
+        raise NegotiationError(str(exc)) from exc
+    price = low + supplier_share * (high - low)
+    return NegotiationOutcome(
+        price=price,
+        rounds=1,
+        supplier_gain=price - low,
+        consumer_gain=high - price,
+        offer_history=(price,),
+    )
+
+
+@dataclass
+class AlternatingOffersNegotiation:
+    """A simple alternating-offers protocol over the price.
+
+    The supplier opens at its target (by default the consumer's total value),
+    the consumer counters at its target (by default the supplier's total
+    cost) and both concede a fixed fraction of the gap towards the opponent's
+    last offer each round.  Agreement is reached as soon as one party's offer
+    is acceptable to the other (i.e. the offers cross); the agreed price is
+    the midpoint of the crossing offers.
+
+    Reserve prices default to the individually rational bounds; negotiation
+    fails when they do not overlap or when ``max_rounds`` is exhausted.
+    """
+
+    supplier_concession: float = 0.2
+    consumer_concession: float = 0.2
+    max_rounds: int = 50
+    supplier_reserve: Optional[float] = None
+    consumer_reserve: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("supplier_concession", "consumer_concession"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise NegotiationError(f"{name} must lie in (0, 1], got {value}")
+        if self.max_rounds < 1:
+            raise NegotiationError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
+
+    def negotiate(self, bundle: GoodsBundle) -> NegotiationOutcome:
+        """Run the protocol for the given bundle."""
+        try:
+            rational_low, rational_high = rational_price_range(bundle)
+        except Exception as exc:  # InvalidPriceError
+            raise NegotiationError(str(exc)) from exc
+        supplier_reserve = (
+            self.supplier_reserve if self.supplier_reserve is not None else rational_low
+        )
+        consumer_reserve = (
+            self.consumer_reserve if self.consumer_reserve is not None else rational_high
+        )
+        if supplier_reserve > consumer_reserve + EPSILON:
+            raise NegotiationError(
+                "reserve prices do not overlap: supplier requires at least "
+                f"{supplier_reserve:.3f}, consumer pays at most {consumer_reserve:.3f}"
+            )
+
+        supplier_offer = max(consumer_reserve, rational_high)
+        consumer_offer = min(supplier_reserve, rational_low)
+        history: List[float] = []
+        for round_index in range(1, self.max_rounds + 1):
+            history.extend((supplier_offer, consumer_offer))
+            if supplier_offer <= consumer_offer + EPSILON:
+                price = (supplier_offer + consumer_offer) / 2.0
+                price = min(max(price, supplier_reserve), consumer_reserve)
+                return NegotiationOutcome(
+                    price=price,
+                    rounds=round_index,
+                    supplier_gain=price - rational_low,
+                    consumer_gain=rational_high - price,
+                    offer_history=tuple(history),
+                )
+            supplier_offer = max(
+                supplier_reserve,
+                supplier_offer
+                - self.supplier_concession * (supplier_offer - consumer_offer),
+            )
+            consumer_offer = min(
+                consumer_reserve,
+                consumer_offer
+                + self.consumer_concession * (supplier_offer - consumer_offer),
+            )
+        if supplier_offer <= consumer_offer + EPSILON:
+            price = (supplier_offer + consumer_offer) / 2.0
+            return NegotiationOutcome(
+                price=price,
+                rounds=self.max_rounds,
+                supplier_gain=price - rational_low,
+                consumer_gain=rational_high - price,
+                offer_history=tuple(history),
+            )
+        raise NegotiationError(
+            f"no agreement reached within {self.max_rounds} rounds "
+            f"(last offers: supplier {supplier_offer:.3f}, "
+            f"consumer {consumer_offer:.3f})"
+        )

@@ -1,0 +1,394 @@
+"""Safe-exchange planning.
+
+This module contains the scheduling algorithms of the reproduction:
+
+* :func:`plan_delivery_order` — the complete greedy planner.  It decides the
+  order in which goods are delivered such that, with suitably chosen payment
+  chunks in between, every intermediate state keeps both partners'
+  temptations within the allowances of the supplied
+  :class:`~repro.core.safety.ExchangeRequirements`.  It returns ``None``
+  exactly when no such order exists (completeness is exercised against the
+  brute-force reference in the property tests).
+* :func:`plan_delivery_order_quadratic` — the same algorithm implemented with
+  explicit linear scans instead of sorting, mirroring the paper's
+  "quadratic-time algorithm" claim.  Results are identical.
+* :func:`build_sequence` / :func:`plan_exchange` — turn a delivery order into
+  a full :class:`~repro.core.exchange.ExchangeSequence` by inserting payment
+  chunks according to a :class:`PaymentPolicy`.
+* :func:`brute_force_delivery_order` — exhaustive search over delivery
+  orders, used as the ground-truth oracle in tests and ablations.
+* :func:`required_total_tolerance` — the smallest total temptation allowance
+  under which an exchange of the given bundle/price can be scheduled; used by
+  the experiments to quantify "how much trust is needed".
+
+Algorithm sketch (backward construction).  Write ``A_s`` and ``A_c`` for the
+supplier- and consumer-temptation allowances and ``T = A_s + A_c``.  Walking
+the delivery order backwards and keeping the running *deficit*
+``D = Vs(S) - Vc(S)`` of the suffix ``S`` scheduled so far, an item ``y`` can
+be appended (i.e. delivered just before the suffix) iff ``D + Vs(y) <= T``.
+Items with non-negative surplus (``Vc >= Vs``) can always be moved to the
+suffix side and are added greedily in ascending supplier cost; the remaining
+deficit items are added in descending consumer value, which an adjacent-swap
+argument shows to be optimal.  The start state additionally requires
+``Vs(all) - P <= A_s`` and ``P - Vc(all) <= A_c``, and the end state requires
+both allowances to be non-negative (which is why a *strictly* safe isolated
+exchange never exists).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.exchange import ExchangeAction, ExchangeSequence
+from repro.core.goods import Good, GoodsBundle
+from repro.core.numeric import EPSILON, approx_ge, approx_le, total
+from repro.core.safety import ExchangeRequirements
+from repro.exceptions import NoSafeSequenceError
+
+__all__ = [
+    "PaymentPolicy",
+    "plan_delivery_order",
+    "plan_delivery_order_quadratic",
+    "order_is_feasible",
+    "build_sequence",
+    "plan_exchange",
+    "plan_exchange_or_raise",
+    "exists_feasible_sequence",
+    "brute_force_delivery_order",
+    "required_total_tolerance",
+]
+
+#: Extra slack subtracted from the allowances when planning in strict mode so
+#: that the produced schedules satisfy the strict inequalities of
+#: :meth:`ExchangeRequirements.allows`.
+STRICT_PLANNING_MARGIN = 1e-7
+
+
+class PaymentPolicy(enum.Enum):
+    """How payment chunks are sized between deliveries.
+
+    All policies produce schedules satisfying the same safety requirements;
+    they differ in how early the consumer's money moves, i.e. in which side
+    carries more of the tolerated exposure (see Ablation A).
+    """
+
+    #: Pay as late and as little as the upper bound allows (consumer friendly).
+    LAZY = "lazy"
+    #: Pay down to the lower bound before every delivery (supplier friendly).
+    EAGER = "eager"
+    #: Aim for the midpoint of the admissible payment interval.
+    BALANCED = "balanced"
+    #: Keep both parties' temptations as small as the bounds allow: before a
+    #: delivery, pay the outstanding amount down to (roughly) the consumer
+    #: value of the goods still to be received.  Realised exposures then stay
+    #: near the structural minimum instead of scaling with the allowances,
+    #: which is what the trust-aware strategy wants by default.
+    MINIMAL_EXPOSURE = "minimal-exposure"
+
+
+def _effective_allowances(requirements: ExchangeRequirements) -> Tuple[float, float]:
+    """Planner-internal allowances; strict mode reserves a tiny margin."""
+    supplier_allowance = requirements.supplier_temptation_allowance
+    consumer_allowance = requirements.consumer_temptation_allowance
+    if requirements.strict:
+        supplier_allowance -= STRICT_PLANNING_MARGIN
+        consumer_allowance -= STRICT_PLANNING_MARGIN
+    return supplier_allowance, consumer_allowance
+
+
+def _boundary_conditions_hold(
+    bundle: GoodsBundle,
+    price: float,
+    supplier_allowance: float,
+    consumer_allowance: float,
+) -> bool:
+    """Start- and end-state conditions shared by all planners."""
+    if price < -EPSILON:
+        return False
+    if not (approx_ge(supplier_allowance, 0.0) and approx_ge(consumer_allowance, 0.0)):
+        return False
+    if not approx_le(bundle.total_supplier_cost - price, supplier_allowance):
+        return False
+    if not approx_le(price - bundle.total_consumer_value, consumer_allowance):
+        return False
+    return True
+
+
+def plan_delivery_order(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+) -> Optional[List[Good]]:
+    """Find a delivery order admitting a schedule within the allowances.
+
+    Returns the goods in delivery order, or ``None`` when no feasible order
+    exists.  Runs in ``O(n log n)``.
+    """
+    supplier_allowance, consumer_allowance = _effective_allowances(requirements)
+    if not _boundary_conditions_hold(
+        bundle, price, supplier_allowance, consumer_allowance
+    ):
+        return None
+    total_allowance = supplier_allowance + consumer_allowance
+
+    surplus_items = sorted(
+        (good for good in bundle if good.is_surplus_item),
+        key=lambda good: good.supplier_cost,
+    )
+    deficit_items = sorted(
+        (good for good in bundle if not good.is_surplus_item),
+        key=lambda good: good.consumer_value,
+        reverse=True,
+    )
+
+    reverse_order: List[Good] = []
+    running_deficit = 0.0
+    for good in itertools.chain(surplus_items, deficit_items):
+        if not approx_le(running_deficit + good.supplier_cost, total_allowance):
+            return None
+        reverse_order.append(good)
+        running_deficit += good.supplier_cost - good.consumer_value
+    reverse_order.reverse()
+    return reverse_order
+
+
+def plan_delivery_order_quadratic(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+) -> Optional[List[Good]]:
+    """Selection-scan variant of :func:`plan_delivery_order` (``O(n^2)``).
+
+    Produces the same feasibility answer; the delivery order may differ in
+    tie-breaking.  Kept as a faithful counterpart of the quadratic-time
+    algorithm the paper refers to and exercised by the planner-cost
+    benchmark (Table 3).
+    """
+    supplier_allowance, consumer_allowance = _effective_allowances(requirements)
+    if not _boundary_conditions_hold(
+        bundle, price, supplier_allowance, consumer_allowance
+    ):
+        return None
+    total_allowance = supplier_allowance + consumer_allowance
+
+    pending_surplus = [good for good in bundle if good.is_surplus_item]
+    pending_deficit = [good for good in bundle if not good.is_surplus_item]
+    reverse_order: List[Good] = []
+    running_deficit = 0.0
+
+    while pending_surplus:
+        # Scan for the cheapest-to-produce surplus item still pending.
+        best_index = min(
+            range(len(pending_surplus)),
+            key=lambda index: pending_surplus[index].supplier_cost,
+        )
+        good = pending_surplus.pop(best_index)
+        if not approx_le(running_deficit + good.supplier_cost, total_allowance):
+            return None
+        reverse_order.append(good)
+        running_deficit += good.supplier_cost - good.consumer_value
+
+    while pending_deficit:
+        # Scan for the deficit item with the largest consumer value.
+        best_index = max(
+            range(len(pending_deficit)),
+            key=lambda index: pending_deficit[index].consumer_value,
+        )
+        good = pending_deficit.pop(best_index)
+        if not approx_le(running_deficit + good.supplier_cost, total_allowance):
+            return None
+        reverse_order.append(good)
+        running_deficit += good.supplier_cost - good.consumer_value
+
+    reverse_order.reverse()
+    return reverse_order
+
+
+def order_is_feasible(
+    order: Sequence[Good],
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+) -> bool:
+    """Check whether a specific delivery order admits safe payment chunking.
+
+    The order must contain every good of the bundle exactly once.  This is
+    the exact per-step condition the planners are derived from and is used as
+    the oracle by :func:`brute_force_delivery_order`.
+    """
+    if sorted(good.good_id for good in order) != sorted(bundle.good_ids):
+        return False
+    supplier_allowance, consumer_allowance = _effective_allowances(requirements)
+    if not _boundary_conditions_hold(
+        bundle, price, supplier_allowance, consumer_allowance
+    ):
+        return False
+    remaining_cost = bundle.total_supplier_cost
+    remaining_value = bundle.total_consumer_value
+    for good in order:
+        lower_now = max(0.0, remaining_cost - supplier_allowance)
+        upper_after_delivery = (
+            remaining_value - good.consumer_value + consumer_allowance
+        )
+        if not approx_le(lower_now, upper_after_delivery):
+            return False
+        remaining_cost -= good.supplier_cost
+        remaining_value -= good.consumer_value
+    return True
+
+
+def build_sequence(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+    order: Sequence[Good],
+    payment_policy: PaymentPolicy = PaymentPolicy.LAZY,
+) -> ExchangeSequence:
+    """Interleave payment chunks with the given delivery order.
+
+    The order must be feasible (as produced by one of the planners or
+    verified with :func:`order_is_feasible`); otherwise the resulting
+    sequence would violate the requirements.
+    """
+    supplier_allowance, consumer_allowance = _effective_allowances(requirements)
+    actions: List[ExchangeAction] = []
+    remaining_payment = float(price)
+    remaining_cost = total(good.supplier_cost for good in order)
+    remaining_value = total(good.consumer_value for good in order)
+
+    for good in order:
+        lower_now = max(0.0, remaining_cost - supplier_allowance)
+        upper_after_delivery = (
+            remaining_value - good.consumer_value + consumer_allowance
+        )
+        highest_allowed = min(remaining_payment, upper_after_delivery)
+        if payment_policy is PaymentPolicy.LAZY:
+            target = highest_allowed
+        elif payment_policy is PaymentPolicy.EAGER:
+            target = lower_now
+        elif payment_policy is PaymentPolicy.MINIMAL_EXPOSURE:
+            # Aim for a remaining payment equal to the consumer value still
+            # outstanding after this delivery: the consumer is then never
+            # tempted, and the supplier only as much as the lower bound forces.
+            target = max(lower_now, remaining_value - good.consumer_value)
+        else:
+            target = (lower_now + highest_allowed) / 2.0
+        target = min(max(target, lower_now, 0.0), highest_allowed)
+        chunk = remaining_payment - target
+        if chunk > EPSILON:
+            actions.append(ExchangeAction.pay(chunk))
+            remaining_payment = target
+        actions.append(ExchangeAction.deliver(good))
+        remaining_cost -= good.supplier_cost
+        remaining_value -= good.consumer_value
+
+    if remaining_payment > EPSILON:
+        actions.append(ExchangeAction.pay(remaining_payment))
+    return ExchangeSequence(bundle, price, actions)
+
+
+def plan_exchange(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+    payment_policy: PaymentPolicy = PaymentPolicy.LAZY,
+) -> Optional[ExchangeSequence]:
+    """Plan a complete exchange schedule, or return ``None`` if none exists."""
+    order = plan_delivery_order(bundle, price, requirements)
+    if order is None:
+        return None
+    return build_sequence(bundle, price, requirements, order, payment_policy)
+
+
+def plan_exchange_or_raise(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+    payment_policy: PaymentPolicy = PaymentPolicy.LAZY,
+) -> ExchangeSequence:
+    """Like :func:`plan_exchange` but raising :class:`NoSafeSequenceError`."""
+    sequence = plan_exchange(bundle, price, requirements, payment_policy)
+    if sequence is None:
+        raise NoSafeSequenceError(
+            "no exchange sequence satisfies the given requirements "
+            f"(price={price:.3f}, total allowance="
+            f"{requirements.total_allowance:.3f})"
+        )
+    return sequence
+
+
+def exists_feasible_sequence(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+) -> bool:
+    """Whether any schedule satisfying the requirements exists."""
+    return plan_delivery_order(bundle, price, requirements) is not None
+
+
+def brute_force_delivery_order(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+    max_items: int = 9,
+) -> Optional[List[Good]]:
+    """Exhaustively search delivery orders (reference oracle for tests).
+
+    Raises ``ValueError`` for bundles larger than ``max_items`` to avoid
+    factorial blow-ups by accident.
+    """
+    if len(bundle) > max_items:
+        raise ValueError(
+            f"brute force search limited to {max_items} items, "
+            f"bundle has {len(bundle)}"
+        )
+    goods = list(bundle)
+    for order in itertools.permutations(goods):
+        if order_is_feasible(order, bundle, price, requirements):
+            return list(order)
+    return None
+
+
+def required_total_tolerance(
+    bundle: GoodsBundle,
+    price: float,
+    precision: float = 1e-6,
+) -> float:
+    """Smallest total temptation allowance that makes the exchange schedulable.
+
+    The allowance is assumed to be split evenly between the two sides
+    (``A_s = A_c = T / 2``); the result quantifies how much combined
+    reputation continuation value and/or trust-based accepted exposure the
+    partners need before the bundle can be exchanged at the given price.
+    Returns ``0.0`` when a fully safe (non-strict) schedule already exists.
+    """
+
+    def feasible(total_tolerance: float) -> bool:
+        half = total_tolerance / 2.0
+        requirements = ExchangeRequirements(
+            consumer_accepted_exposure=half,
+            supplier_accepted_exposure=half,
+        )
+        return exists_feasible_sequence(bundle, price, requirements)
+
+    if feasible(0.0):
+        return 0.0
+    upper = 2.0 * (
+        bundle.total_supplier_cost + bundle.total_consumer_value + abs(price) + 1.0
+    )
+    if not feasible(upper):
+        # Should not happen: with a huge allowance any order is feasible.
+        raise NoSafeSequenceError(
+            "exchange infeasible even with an unbounded allowance; "
+            "this indicates an invalid price"
+        )
+    low, high = 0.0, upper
+    while high - low > precision:
+        mid = (low + high) / 2.0
+        if feasible(mid):
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,213 @@
+"""Valuation models: parametric generators of goods bundles.
+
+The paper assumes the two value functions ``Vs`` and ``Vc`` are given.  For
+experiments we need families of bundles whose shapes can be controlled: how
+large the per-item surplus is, how correlated cost and value are, whether a
+few items dominate the bundle, and so on.  Each :class:`ValuationModel`
+produces :class:`~repro.core.goods.Good` items deterministically from a
+supplied random generator, so experiments are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.goods import Good, GoodsBundle
+from repro.exceptions import WorkloadError
+
+__all__ = [
+    "ValuationModel",
+    "UniformValuationModel",
+    "CorrelatedValuationModel",
+    "MarginValuationModel",
+    "BimodalValuationModel",
+    "TabularValuationModel",
+    "make_bundle",
+]
+
+
+class ValuationModel(abc.ABC):
+    """Abstract generator of per-item valuations ``(Vs(x), Vc(x))``."""
+
+    @abc.abstractmethod
+    def sample_item(self, rng: random.Random, index: int) -> Tuple[float, float]:
+        """Return ``(supplier_cost, consumer_value)`` for item ``index``."""
+
+    def sample_bundle(
+        self, rng: random.Random, size: int, prefix: str = "good"
+    ) -> GoodsBundle:
+        """Sample a bundle of ``size`` items using ``rng``."""
+        if size < 0:
+            raise WorkloadError(f"bundle size must be >= 0, got {size}")
+        goods: List[Good] = []
+        for index in range(size):
+            cost, value = self.sample_item(rng, index)
+            goods.append(
+                Good(
+                    good_id=f"{prefix}-{index}",
+                    supplier_cost=max(0.0, cost),
+                    consumer_value=max(0.0, value),
+                )
+            )
+        return GoodsBundle(goods)
+
+
+@dataclass
+class UniformValuationModel(ValuationModel):
+    """Costs and values drawn independently and uniformly.
+
+    ``supplier_cost ~ U(cost_low, cost_high)`` and
+    ``consumer_value ~ U(value_low, value_high)``, independently per item.
+    """
+
+    cost_low: float = 1.0
+    cost_high: float = 10.0
+    value_low: float = 1.0
+    value_high: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.cost_low < 0 or self.value_low < 0:
+            raise WorkloadError("valuation bounds must be non-negative")
+        if self.cost_high < self.cost_low or self.value_high < self.value_low:
+            raise WorkloadError("upper bounds must not be below lower bounds")
+
+    def sample_item(self, rng: random.Random, index: int) -> Tuple[float, float]:
+        cost = rng.uniform(self.cost_low, self.cost_high)
+        value = rng.uniform(self.value_low, self.value_high)
+        return cost, value
+
+
+@dataclass
+class MarginValuationModel(ValuationModel):
+    """Consumer value derived from the supplier cost through a margin.
+
+    ``supplier_cost ~ U(cost_low, cost_high)`` and
+    ``consumer_value = supplier_cost * (1 + margin)`` with
+    ``margin ~ U(margin_low, margin_high)``.  Negative margins create
+    deficit items (items the consumer values below their cost) which stress
+    the planner: they are the reason fully safe sequences frequently do not
+    exist.
+    """
+
+    cost_low: float = 1.0
+    cost_high: float = 10.0
+    margin_low: float = -0.2
+    margin_high: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cost_low < 0:
+            raise WorkloadError("cost bounds must be non-negative")
+        if self.cost_high < self.cost_low:
+            raise WorkloadError("cost_high must be >= cost_low")
+        if self.margin_high < self.margin_low:
+            raise WorkloadError("margin_high must be >= margin_low")
+        if self.margin_low < -1.0:
+            raise WorkloadError("margin_low must be >= -1 (values cannot go negative)")
+
+    def sample_item(self, rng: random.Random, index: int) -> Tuple[float, float]:
+        cost = rng.uniform(self.cost_low, self.cost_high)
+        margin = rng.uniform(self.margin_low, self.margin_high)
+        return cost, cost * (1.0 + margin)
+
+
+@dataclass
+class CorrelatedValuationModel(ValuationModel):
+    """Costs and values drawn with a configurable linear correlation.
+
+    The consumer value is a convex combination of the supplier cost and an
+    independent uniform draw: ``value = correlation * cost + (1 -
+    correlation) * U(value_low, value_high)``, then scaled by ``value_scale``.
+    ``correlation = 1`` produces zero-surplus items (before scaling),
+    ``correlation = 0`` reduces to independent draws.
+    """
+
+    cost_low: float = 1.0
+    cost_high: float = 10.0
+    value_low: float = 1.0
+    value_high: float = 10.0
+    correlation: float = 0.5
+    value_scale: float = 1.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.correlation <= 1.0:
+            raise WorkloadError("correlation must be in [0, 1]")
+        if self.value_scale < 0:
+            raise WorkloadError("value_scale must be non-negative")
+
+    def sample_item(self, rng: random.Random, index: int) -> Tuple[float, float]:
+        cost = rng.uniform(self.cost_low, self.cost_high)
+        independent = rng.uniform(self.value_low, self.value_high)
+        value = self.correlation * cost + (1.0 - self.correlation) * independent
+        return cost, value * self.value_scale
+
+
+@dataclass
+class BimodalValuationModel(ValuationModel):
+    """A mixture of many small items and a few large ("big ticket") items.
+
+    With probability ``big_fraction`` an item is drawn from the big range,
+    otherwise from the small range; the consumer value applies the given
+    margin.  Bundles dominated by one expensive item are the classic case in
+    which no fully safe schedule exists.
+    """
+
+    small_cost: Tuple[float, float] = (1.0, 5.0)
+    big_cost: Tuple[float, float] = (20.0, 50.0)
+    big_fraction: float = 0.2
+    margin: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.big_fraction <= 1.0:
+            raise WorkloadError("big_fraction must be in [0, 1]")
+        if self.margin < -1.0:
+            raise WorkloadError("margin must be >= -1")
+
+    def sample_item(self, rng: random.Random, index: int) -> Tuple[float, float]:
+        if rng.random() < self.big_fraction:
+            low, high = self.big_cost
+        else:
+            low, high = self.small_cost
+        cost = rng.uniform(low, high)
+        return cost, cost * (1.0 + self.margin)
+
+
+class TabularValuationModel(ValuationModel):
+    """A fixed table of valuations, cycled when more items are requested.
+
+    Useful in tests and examples where exact valuations matter.
+    """
+
+    def __init__(self, rows: Sequence[Tuple[float, float]]):
+        if not rows:
+            raise WorkloadError("TabularValuationModel requires at least one row")
+        self._rows: Tuple[Tuple[float, float], ...] = tuple(
+            (float(cost), float(value)) for cost, value in rows
+        )
+
+    @property
+    def rows(self) -> Tuple[Tuple[float, float], ...]:
+        return self._rows
+
+    def sample_item(self, rng: random.Random, index: int) -> Tuple[float, float]:
+        return self._rows[index % len(self._rows)]
+
+
+def make_bundle(
+    model: ValuationModel,
+    size: int,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    prefix: str = "good",
+) -> GoodsBundle:
+    """Convenience wrapper: sample a bundle from ``model``.
+
+    Exactly one of ``seed`` or ``rng`` may be supplied; with neither, a fresh
+    unseeded generator is used (not reproducible — fine for interactive use).
+    """
+    if seed is not None and rng is not None:
+        raise WorkloadError("pass either seed or rng, not both")
+    generator = rng if rng is not None else random.Random(seed)
+    return model.sample_bundle(generator, size, prefix=prefix)

@@ -1,0 +1,96 @@
+"""Listings: goods offered for sale in the community marketplace."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.goods import GoodsBundle
+from repro.exceptions import MarketplaceError
+
+__all__ = ["Listing", "ListingBook"]
+
+_listing_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Listing:
+    """A supplier's offer of a bundle of goods."""
+
+    listing_id: str
+    supplier_id: str
+    bundle: GoodsBundle
+    reserve_price: Optional[float] = None
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.listing_id:
+            raise MarketplaceError("listing_id must be non-empty")
+        if not self.supplier_id:
+            raise MarketplaceError("supplier_id must be non-empty")
+        if len(self.bundle) == 0:
+            raise MarketplaceError("a listing must offer at least one good")
+        if self.reserve_price is not None and self.reserve_price < 0:
+            raise MarketplaceError("reserve_price must be >= 0")
+
+    @classmethod
+    def create(
+        cls,
+        supplier_id: str,
+        bundle: GoodsBundle,
+        reserve_price: Optional[float] = None,
+        created_at: float = 0.0,
+    ) -> "Listing":
+        """Create a listing with an auto-generated identifier."""
+        return cls(
+            listing_id=f"listing-{next(_listing_counter)}",
+            supplier_id=supplier_id,
+            bundle=bundle,
+            reserve_price=reserve_price,
+            created_at=created_at,
+        )
+
+    @property
+    def minimum_acceptable_price(self) -> float:
+        """The supplier's effective floor: reserve price or total cost."""
+        if self.reserve_price is not None:
+            return self.reserve_price
+        return self.bundle.total_supplier_cost
+
+
+class ListingBook:
+    """The set of currently open listings."""
+
+    def __init__(self) -> None:
+        self._listings: Dict[str, Listing] = {}
+
+    def __len__(self) -> int:
+        return len(self._listings)
+
+    def __iter__(self):
+        return iter(self._listings.values())
+
+    def add(self, listing: Listing) -> None:
+        if listing.listing_id in self._listings:
+            raise MarketplaceError(f"listing {listing.listing_id!r} already exists")
+        self._listings[listing.listing_id] = listing
+
+    def remove(self, listing_id: str) -> Optional[Listing]:
+        return self._listings.pop(listing_id, None)
+
+    def get(self, listing_id: str) -> Optional[Listing]:
+        return self._listings.get(listing_id)
+
+    def by_supplier(self, supplier_id: str) -> Tuple[Listing, ...]:
+        return tuple(
+            listing
+            for listing in self._listings.values()
+            if listing.supplier_id == supplier_id
+        )
+
+    def active(self) -> Tuple[Listing, ...]:
+        return tuple(self._listings.values())
+
+    def clear(self) -> None:
+        self._listings.clear()

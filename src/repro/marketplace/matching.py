@@ -1,0 +1,98 @@
+"""Matching consumers to listings.
+
+Two mechanisms are provided: blind random matching (consumers do not use
+reputation for discovery) and trust-weighted matching, where a consumer
+prefers suppliers it estimates to be trustworthy — the "discover someone
+based on a profile (skills, reputations)" part of the paper's motivation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import MarketplaceError
+from repro.marketplace.listing import Listing
+
+__all__ = ["Match", "random_matching", "trust_weighted_matching"]
+
+Match = Tuple[str, Listing]
+
+
+def random_matching(
+    consumer_ids: Sequence[str],
+    listings: Sequence[Listing],
+    rng: random.Random,
+    allow_self_trade: bool = False,
+) -> List[Match]:
+    """Assign each consumer to a random listing (at most one per listing).
+
+    Consumers that cannot be assigned (no listing left, or only their own
+    listings) stay unmatched.
+    """
+    available = list(listings)
+    rng.shuffle(available)
+    matches: List[Match] = []
+    consumers = list(consumer_ids)
+    rng.shuffle(consumers)
+    for consumer_id in consumers:
+        chosen_index: Optional[int] = None
+        for index, listing in enumerate(available):
+            if not allow_self_trade and listing.supplier_id == consumer_id:
+                continue
+            chosen_index = index
+            break
+        if chosen_index is None:
+            continue
+        matches.append((consumer_id, available.pop(chosen_index)))
+    return matches
+
+
+def trust_weighted_matching(
+    consumer_ids: Sequence[str],
+    listings: Sequence[Listing],
+    trust_of: Callable[[str, str], float],
+    rng: random.Random,
+    exploration: float = 0.1,
+    allow_self_trade: bool = False,
+) -> List[Match]:
+    """Consumers pick suppliers with probability proportional to trust.
+
+    ``trust_of(consumer_id, supplier_id)`` supplies the consumer's current
+    trust estimate; ``exploration`` is a floor weight that keeps unknown or
+    distrusted suppliers discoverable (otherwise newcomers could never build
+    a reputation).
+    """
+    if exploration < 0:
+        raise MarketplaceError(f"exploration must be >= 0, got {exploration}")
+    available = list(listings)
+    matches: List[Match] = []
+    consumers = list(consumer_ids)
+    rng.shuffle(consumers)
+    for consumer_id in consumers:
+        candidates = [
+            listing
+            for listing in available
+            if allow_self_trade or listing.supplier_id != consumer_id
+        ]
+        if not candidates:
+            continue
+        weights = [
+            max(exploration, trust_of(consumer_id, listing.supplier_id))
+            for listing in candidates
+        ]
+        total = sum(weights)
+        if total <= 0:
+            chosen = rng.choice(candidates)
+        else:
+            pick = rng.uniform(0.0, total)
+            cumulative = 0.0
+            chosen = candidates[-1]
+            for listing, weight in zip(candidates, weights):
+                cumulative += weight
+                if pick <= cumulative:
+                    chosen = listing
+                    break
+        available.remove(chosen)
+        matches.append((consumer_id, chosen))
+    return matches

@@ -1,0 +1,114 @@
+"""End-to-end exchange protocol: negotiate, plan, execute, record.
+
+:func:`run_exchange` glues the pieces together for one prospective trade and
+is the unit of work the community simulation performs once per match:
+
+1. the strategy plans a schedule from the bundle, price and trust context
+   (or declines),
+2. the schedule is executed against the two parties' behaviour models, and
+3. the outcome is condensed into an :class:`ExchangeOutcome` carrying the
+   :class:`~repro.reputation.records.InteractionRecord` to feed back into the
+   reputation layer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.exchange import ExchangeSequence, Role
+from repro.core.goods import GoodsBundle
+from repro.exceptions import MarketplaceError
+from repro.marketplace.strategy import ExchangeStrategy, StrategyContext
+from repro.marketplace.transaction import TransactionResult, execute_sequence
+from repro.reputation.records import InteractionRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.simulation.behaviors import BehaviorModel
+
+__all__ = ["ExchangeOutcome", "run_exchange"]
+
+
+@dataclass(frozen=True)
+class ExchangeOutcome:
+    """Everything that happened for one prospective trade."""
+
+    supplier_id: str
+    consumer_id: str
+    bundle: GoodsBundle
+    price: float
+    scheduled: bool
+    sequence: Optional[ExchangeSequence]
+    result: Optional[TransactionResult]
+    record: Optional[InteractionRecord]
+    timestamp: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None and self.result.completed
+
+    @property
+    def declined(self) -> bool:
+        return not self.scheduled
+
+    @property
+    def welfare(self) -> float:
+        return self.result.total_welfare if self.result is not None else 0.0
+
+    @property
+    def potential_welfare(self) -> float:
+        """The surplus that would have been realised by completing the trade."""
+        return self.bundle.total_surplus
+
+
+def run_exchange(
+    supplier_id: str,
+    consumer_id: str,
+    bundle: GoodsBundle,
+    price: float,
+    strategy: ExchangeStrategy,
+    context: StrategyContext,
+    supplier_behavior: "BehaviorModel",
+    consumer_behavior: "BehaviorModel",
+    rng: random.Random,
+    timestamp: float = 0.0,
+) -> ExchangeOutcome:
+    """Plan and execute one exchange; returns the full outcome."""
+    if supplier_id == consumer_id:
+        raise MarketplaceError("supplier and consumer must be distinct agents")
+    sequence = strategy.plan(bundle, price, context)
+    if sequence is None:
+        return ExchangeOutcome(
+            supplier_id=supplier_id,
+            consumer_id=consumer_id,
+            bundle=bundle,
+            price=price,
+            scheduled=False,
+            sequence=None,
+            result=None,
+            record=None,
+            timestamp=timestamp,
+        )
+    result = execute_sequence(
+        sequence, supplier_behavior, consumer_behavior, rng, time=timestamp
+    )
+    record = InteractionRecord(
+        supplier_id=supplier_id,
+        consumer_id=consumer_id,
+        completed=result.completed,
+        defector=result.defector.value if result.defector is not None else None,
+        value=price,
+        timestamp=timestamp,
+    )
+    return ExchangeOutcome(
+        supplier_id=supplier_id,
+        consumer_id=consumer_id,
+        bundle=bundle,
+        price=price,
+        scheduled=True,
+        sequence=sequence,
+        result=result,
+        record=record,
+        timestamp=timestamp,
+    )

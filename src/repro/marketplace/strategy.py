@@ -1,0 +1,124 @@
+"""Exchange strategies: how a prospective trade is turned into a schedule.
+
+A strategy receives the bundle, the agreed price and a
+:class:`StrategyContext` (the two parties' trust estimates of each other and
+their reputation continuation values) and either produces an
+:class:`~repro.core.exchange.ExchangeSequence` or declines the trade.  The
+paper's approach is :class:`TrustAwareStrategy`; the non-trust-aware
+comparison strategies live in :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.decision import DecisionMaker, ExpectedLossBudgetPolicy, RiskPolicy
+from repro.core.exchange import ExchangeSequence
+from repro.core.goods import GoodsBundle
+from repro.core.planner import PaymentPolicy
+from repro.core.trust_aware import PartnerModel, TrustAwareExchangePlanner
+from repro.exceptions import MarketplaceError
+
+__all__ = ["StrategyContext", "ExchangeStrategy", "TrustAwareStrategy"]
+
+
+@dataclass(frozen=True)
+class StrategyContext:
+    """Everything a strategy may condition on besides the bundle and price."""
+
+    supplier_trust_in_consumer: float = 0.5
+    consumer_trust_in_supplier: float = 0.5
+    supplier_defection_penalty: float = 0.0
+    consumer_defection_penalty: float = 0.0
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("supplier_trust_in_consumer", "consumer_trust_in_supplier"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise MarketplaceError(f"{name} must lie in [0, 1], got {value}")
+        for name in ("supplier_defection_penalty", "consumer_defection_penalty"):
+            if getattr(self, name) < 0:
+                raise MarketplaceError(f"{name} must be >= 0")
+
+
+class ExchangeStrategy(abc.ABC):
+    """Produces an exchange schedule for a prospective trade (or declines)."""
+
+    #: Short identifier used in experiment tables.
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        bundle: GoodsBundle,
+        price: float,
+        context: StrategyContext,
+    ) -> Optional[ExchangeSequence]:
+        """Return a schedule, or ``None`` to decline the trade."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class TrustAwareStrategy(ExchangeStrategy):
+    """The paper's trust-aware safe exchange (Section 3).
+
+    Both parties map their trust estimate of the partner and their risk
+    policy to an accepted exposure; the planner then searches for a schedule
+    within the combined allowances and both decision modules must accept the
+    realised exposure of the schedule.
+    """
+
+    name = "trust-aware"
+
+    def __init__(
+        self,
+        supplier_policy: Optional[RiskPolicy] = None,
+        consumer_policy: Optional[RiskPolicy] = None,
+        payment_policy: PaymentPolicy = PaymentPolicy.MINIMAL_EXPOSURE,
+        min_trust: float = 0.0,
+        require_agreement: bool = True,
+    ):
+        self._supplier_policy = (
+            supplier_policy if supplier_policy is not None else ExpectedLossBudgetPolicy()
+        )
+        self._consumer_policy = (
+            consumer_policy if consumer_policy is not None else ExpectedLossBudgetPolicy()
+        )
+        self._planner = TrustAwareExchangePlanner(payment_policy=payment_policy)
+        self._min_trust = min_trust
+        self._require_agreement = require_agreement
+
+    def plan(
+        self,
+        bundle: GoodsBundle,
+        price: float,
+        context: StrategyContext,
+    ) -> Optional[ExchangeSequence]:
+        supplier = PartnerModel(
+            trust_in_partner=context.supplier_trust_in_consumer,
+            decision_maker=DecisionMaker(
+                risk_policy=self._supplier_policy, min_trust=self._min_trust
+            ),
+            defection_penalty=context.supplier_defection_penalty,
+        )
+        consumer = PartnerModel(
+            trust_in_partner=context.consumer_trust_in_supplier,
+            decision_maker=DecisionMaker(
+                risk_policy=self._consumer_policy, min_trust=self._min_trust
+            ),
+            defection_penalty=context.consumer_defection_penalty,
+        )
+        plan = self._planner.plan(bundle, price, supplier, consumer)
+        if self._require_agreement:
+            return plan.sequence if plan.agreed else None
+        return plan.sequence
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(supplier={self._supplier_policy.describe()}, "
+            f"consumer={self._consumer_policy.describe()})"
+        )

@@ -1,0 +1,49 @@
+"""P-Grid substrate: decentralised binary-trie storage for reputation data.
+
+This package reimplements, at simulation fidelity, the peer-to-peer access
+structure that Aberer & Despotovic (CIKM 2001) use to store complaint data:
+peers partition a binary key space by pairwise exchanges, keep per-level
+routing references and answer prefix-routed queries in a logarithmic number
+of hops.  Replicas (peers sharing a path) provide the redundancy the
+complaint-based trust model relies on to tolerate lying storage peers.
+"""
+
+from repro.pgrid.construction import bootstrap_by_exchanges, build_balanced, exchange
+from repro.pgrid.keyspace import (
+    DEFAULT_KEY_BITS,
+    common_prefix_length,
+    flip_bit,
+    hash_to_bits,
+    is_prefix,
+    validate_binary,
+)
+from repro.pgrid.network import InsertResult, NetworkStats, PGridNetwork, QueryResult
+from repro.pgrid.node import PGridPeer
+from repro.pgrid.replication import (
+    replica_groups,
+    replicas_for_key,
+    replication_factor,
+)
+from repro.pgrid.routing import RouteResult, route
+
+__all__ = [
+    "DEFAULT_KEY_BITS",
+    "hash_to_bits",
+    "common_prefix_length",
+    "is_prefix",
+    "flip_bit",
+    "validate_binary",
+    "PGridPeer",
+    "RouteResult",
+    "route",
+    "exchange",
+    "bootstrap_by_exchanges",
+    "build_balanced",
+    "replica_groups",
+    "replicas_for_key",
+    "replication_factor",
+    "QueryResult",
+    "InsertResult",
+    "NetworkStats",
+    "PGridNetwork",
+]

@@ -1,0 +1,160 @@
+"""Constructing the P-Grid trie.
+
+Two construction strategies are provided:
+
+* :func:`bootstrap_by_exchanges` — the decentralised bootstrap of the
+  original P-Grid work: peers meet pairwise at random and refine their paths
+  (splitting the key space between them) while exchanging routing
+  references.  This is what a real deployment would run and what the
+  community simulation uses.
+* :func:`build_balanced` — a deterministic, perfectly balanced assignment of
+  paths and fully populated routing tables.  Useful for unit tests and for
+  the scalability benchmark, where the quantity of interest is the routing
+  cost on a well-formed trie rather than the convergence of the bootstrap.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.exceptions import StorageError
+from repro.pgrid.keyspace import common_prefix_length, flip_bit
+from repro.pgrid.node import PGridPeer
+
+__all__ = ["exchange", "bootstrap_by_exchanges", "build_balanced"]
+
+
+def exchange(
+    peer_a: PGridPeer,
+    peer_b: PGridPeer,
+    max_depth: int = 12,
+) -> None:
+    """One pairwise P-Grid exchange between two peers.
+
+    Depending on how the peers' paths relate, they either split a common
+    prefix (both specialise by one complementary bit), one of them
+    specialises below the other, or — when their paths already diverge —
+    they simply learn each other as routing references for the level of
+    divergence.  Data that no longer matches a refined path is handed over
+    to the partner when the partner became responsible for it.
+    """
+    prefix = common_prefix_length(peer_a.path, peer_b.path)
+    len_a, len_b = len(peer_a.path), len(peer_b.path)
+
+    if len_a == prefix and len_b == prefix:
+        # Identical paths: split the subtree if allowed to go deeper.
+        if len_a >= max_depth:
+            return
+        peer_a.path += "0"
+        peer_b.path += "1"
+        peer_a.add_reference(len(peer_a.path), peer_b.peer_id)
+        peer_b.add_reference(len(peer_b.path), peer_a.peer_id)
+    elif len_a == prefix:
+        # peer_a's path is a proper prefix of peer_b's: peer_a specialises to
+        # the complementary subtree of peer_b's next bit.
+        if len_a >= max_depth:
+            return
+        next_bit = peer_b.path[prefix]
+        peer_a.path += flip_bit(next_bit)
+        peer_a.add_reference(len(peer_a.path), peer_b.peer_id)
+        peer_b.add_reference(prefix + 1, peer_a.peer_id)
+    elif len_b == prefix:
+        if len_b >= max_depth:
+            return
+        next_bit = peer_a.path[prefix]
+        peer_b.path += flip_bit(next_bit)
+        peer_b.add_reference(len(peer_b.path), peer_a.peer_id)
+        peer_a.add_reference(prefix + 1, peer_b.peer_id)
+    else:
+        # Paths diverge: learn each other as references at the divergence level.
+        peer_a.add_reference(prefix + 1, peer_b.peer_id)
+        peer_b.add_reference(prefix + 1, peer_a.peer_id)
+
+    _hand_over_misplaced(peer_a, peer_b)
+    _hand_over_misplaced(peer_b, peer_a)
+
+
+def _hand_over_misplaced(source: PGridPeer, target: PGridPeer) -> None:
+    """Move keys the source is no longer responsible for to a responsible target."""
+    for key in source.misplaced_keys():
+        if target.is_responsible_for(key):
+            for value in source.pop_key(key):
+                target.store_local(key, value)
+
+
+def bootstrap_by_exchanges(
+    peers: Mapping[str, PGridPeer],
+    rounds: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    max_depth: Optional[int] = None,
+) -> int:
+    """Run random pairwise exchanges until the trie is (probably) refined.
+
+    Returns the number of exchanges performed.  ``rounds`` defaults to
+    ``10 * n * log2(n)`` pairwise meetings, which in practice refines the
+    paths of communities of the sizes used in the experiments; ``max_depth``
+    defaults to ``ceil(log2(n)) + 2``.
+    """
+    peer_list = list(peers.values())
+    if len(peer_list) < 2:
+        return 0
+    generator = rng if rng is not None else random.Random(0)
+    n = len(peer_list)
+    if rounds is None:
+        rounds = int(10 * n * max(1.0, math.log2(n)))
+    if max_depth is None:
+        max_depth = int(math.ceil(math.log2(n))) + 2
+    for _ in range(rounds):
+        peer_a, peer_b = generator.sample(peer_list, 2)
+        exchange(peer_a, peer_b, max_depth=max_depth)
+    return rounds
+
+
+def build_balanced(
+    peers: Mapping[str, PGridPeer],
+    depth: Optional[int] = None,
+    references_per_level: int = 2,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Assign balanced paths and fully populate routing tables.
+
+    Peers are assigned paths of length ``depth`` (default ``floor(log2(n))``)
+    round-robin over the ``2**depth`` leaves, so peers sharing a leaf become
+    replicas.  Every peer then receives up to ``references_per_level``
+    references per level, chosen among the peers covering the complementary
+    subtree.  Returns the depth used.
+    """
+    peer_list = list(peers.values())
+    if not peer_list:
+        return 0
+    n = len(peer_list)
+    if depth is None:
+        depth = max(1, int(math.floor(math.log2(n)))) if n > 1 else 0
+    if depth < 0:
+        raise StorageError(f"depth must be >= 0, got {depth}")
+    generator = rng if rng is not None else random.Random(0)
+
+    leaves = [format(index, f"0{depth}b") if depth > 0 else "" for index in range(2 ** depth)]
+    for index, peer in enumerate(peer_list):
+        peer.path = leaves[index % len(leaves)]
+
+    # Group peers by the subtree they cover at each level for reference filling.
+    by_prefix: Dict[str, List[PGridPeer]] = {}
+    for peer in peer_list:
+        for level in range(1, len(peer.path) + 1):
+            by_prefix.setdefault(peer.path[:level], []).append(peer)
+
+    for peer in peer_list:
+        for level in range(1, len(peer.path) + 1):
+            complement = peer.path[: level - 1] + flip_bit(peer.path[level - 1])
+            candidates = by_prefix.get(complement, [])
+            if not candidates:
+                continue
+            chosen = candidates
+            if len(candidates) > references_per_level:
+                chosen = generator.sample(candidates, references_per_level)
+            for other in chosen:
+                peer.add_reference(level, other.peer_id)
+    return depth

@@ -1,0 +1,73 @@
+"""Binary key space helpers for the P-Grid substrate.
+
+P-Grid organises peers in a virtual binary trie: every peer is responsible
+for the keys sharing a binary *path* (prefix).  Application keys (e.g. the
+agent identifier a complaint is about) are mapped to fixed-length binary
+strings by hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.exceptions import RoutingError
+
+__all__ = [
+    "DEFAULT_KEY_BITS",
+    "hash_to_bits",
+    "common_prefix_length",
+    "is_prefix",
+    "flip_bit",
+    "validate_binary",
+]
+
+#: Number of bits used for hashed application keys.
+DEFAULT_KEY_BITS = 16
+
+
+def validate_binary(value: str, name: str = "key") -> str:
+    """Ensure ``value`` is a (possibly empty) binary string and return it."""
+    if any(char not in "01" for char in value):
+        raise RoutingError(f"{name} must be a binary string, got {value!r}")
+    return value
+
+
+def hash_to_bits(key: str, bits: int = DEFAULT_KEY_BITS) -> str:
+    """Hash an application key to a binary string of the given length."""
+    if bits <= 0:
+        raise RoutingError(f"bits must be positive, got {bits}")
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    as_int = int.from_bytes(digest, "big")
+    total_bits = len(digest) * 8
+    if bits > total_bits:
+        raise RoutingError(f"at most {total_bits} bits supported, got {bits}")
+    return format(as_int >> (total_bits - bits), f"0{bits}b")
+
+
+def common_prefix_length(a: str, b: str) -> int:
+    """Length of the longest common prefix of two binary strings."""
+    validate_binary(a, "a")
+    validate_binary(b, "b")
+    length = 0
+    for char_a, char_b in zip(a, b):
+        if char_a != char_b:
+            break
+        length += 1
+    return length
+
+
+def is_prefix(prefix: str, key: str) -> bool:
+    """Whether ``prefix`` is a prefix of ``key`` (empty prefix matches all)."""
+    validate_binary(prefix, "prefix")
+    validate_binary(key, "key")
+    return key.startswith(prefix)
+
+
+def flip_bit(bit: str) -> str:
+    """Complement a single bit character."""
+    if bit == "0":
+        return "1"
+    if bit == "1":
+        return "0"
+    raise RoutingError(f"expected a single bit, got {bit!r}")

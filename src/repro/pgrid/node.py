@@ -1,0 +1,140 @@
+"""A single P-Grid peer: path, routing table and local data store.
+
+Every peer is responsible for the binary keys that start with its *path*.
+For each level ``i`` of its path it keeps references to peers whose path
+agrees on the first ``i - 1`` bits and differs at bit ``i`` — the peers that
+cover the "other half" of the key space at that level.  Routing a query
+therefore resolves one bit per hop, giving ``O(log n)`` search cost, which
+Figure 4 of the designed evaluation measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import StorageError
+from repro.pgrid.keyspace import is_prefix, validate_binary
+
+__all__ = ["PGridPeer"]
+
+#: Maximum number of references kept per routing level.
+DEFAULT_MAX_REFERENCES = 4
+
+
+@dataclass
+class PGridPeer:
+    """State of one peer participating in the P-Grid.
+
+    Attributes
+    ----------
+    peer_id:
+        Unique identifier of the peer.
+    path:
+        The binary prefix the peer is responsible for ("" initially).
+    max_references:
+        Cap on the number of references kept per routing level.
+    tamper_hook:
+        Optional function applied to the values the peer returns when
+        answering queries — used to model dishonest storage peers that forge
+        reputation data.  ``None`` models an honest peer.
+    """
+
+    peer_id: str
+    path: str = ""
+    max_references: int = DEFAULT_MAX_REFERENCES
+    tamper_hook: Optional[Callable[[str, List[str]], List[str]]] = None
+    _routing: Dict[int, List[str]] = field(default_factory=dict, repr=False)
+    _data: Dict[str, List[str]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.peer_id:
+            raise StorageError("peer_id must be non-empty")
+        validate_binary(self.path, "path")
+        if self.max_references < 1:
+            raise StorageError(
+                f"max_references must be >= 1, got {self.max_references}"
+            )
+
+    # ------------------------------------------------------------------
+    # Responsibility and routing table
+    # ------------------------------------------------------------------
+    def is_responsible_for(self, key: str) -> bool:
+        """Whether the peer's path is a prefix of the (binary) key."""
+        return is_prefix(self.path, key)
+
+    def add_reference(self, level: int, peer_id: str) -> None:
+        """Remember ``peer_id`` as covering the complement subtree at ``level``.
+
+        Levels are 1-based: level ``i`` refers to peers whose path shares the
+        first ``i - 1`` bits of this peer's path and differs at bit ``i``.
+        """
+        if level < 1:
+            raise StorageError(f"routing level must be >= 1, got {level}")
+        if peer_id == self.peer_id:
+            return
+        refs = self._routing.setdefault(level, [])
+        if peer_id in refs:
+            return
+        refs.append(peer_id)
+        if len(refs) > self.max_references:
+            del refs[0]
+
+    def references(self, level: int) -> Tuple[str, ...]:
+        """References stored for the given (1-based) level."""
+        return tuple(self._routing.get(level, ()))
+
+    def all_references(self) -> Dict[int, Tuple[str, ...]]:
+        return {level: tuple(refs) for level, refs in self._routing.items()}
+
+    def pick_reference(self, level: int, rng: Optional[random.Random] = None) -> Optional[str]:
+        """A (random) reference for the given level, or ``None`` if none known."""
+        refs = self._routing.get(level)
+        if not refs:
+            return None
+        if rng is None:
+            return refs[0]
+        return rng.choice(refs)
+
+    def routing_levels(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._routing.keys()))
+
+    # ------------------------------------------------------------------
+    # Local data store
+    # ------------------------------------------------------------------
+    def store_local(self, key: str, value: str) -> None:
+        """Store a value under a binary key (regardless of responsibility)."""
+        validate_binary(key, "key")
+        self._data.setdefault(key, []).append(value)
+
+    def retrieve_local(self, key: str) -> List[str]:
+        """Values stored locally under the key, after the tamper hook (if any)."""
+        validate_binary(key, "key")
+        values = list(self._data.get(key, []))
+        if self.tamper_hook is not None:
+            values = list(self.tamper_hook(key, values))
+        return values
+
+    def retrieve_local_untampered(self, key: str) -> List[str]:
+        """Values stored locally under the key, bypassing the tamper hook."""
+        validate_binary(key, "key")
+        return list(self._data.get(key, []))
+
+    def stored_keys(self) -> Tuple[str, ...]:
+        return tuple(self._data.keys())
+
+    def misplaced_keys(self) -> Tuple[str, ...]:
+        """Keys stored locally that the peer is no longer responsible for."""
+        return tuple(
+            key for key in self._data if not self.is_responsible_for(key)
+        )
+
+    def pop_key(self, key: str) -> List[str]:
+        """Remove and return all values stored under the key."""
+        validate_binary(key, "key")
+        return self._data.pop(key, [])
+
+    def data_size(self) -> int:
+        """Total number of values stored locally."""
+        return sum(len(values) for values in self._data.values())

@@ -1,0 +1,40 @@
+"""Replication helpers: peers sharing a path are replicas of each other."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.pgrid.keyspace import validate_binary
+from repro.pgrid.node import PGridPeer
+
+__all__ = ["replica_groups", "replicas_for_key", "replication_factor"]
+
+
+def replica_groups(peers: Mapping[str, PGridPeer]) -> Dict[str, Tuple[str, ...]]:
+    """Group peer ids by the path they are responsible for."""
+    groups: Dict[str, List[str]] = {}
+    for peer in peers.values():
+        groups.setdefault(peer.path, []).append(peer.peer_id)
+    return {path: tuple(sorted(ids)) for path, ids in groups.items()}
+
+
+def replicas_for_key(
+    peers: Mapping[str, PGridPeer], key: str
+) -> Tuple[str, ...]:
+    """Ids of every peer responsible for the given binary key."""
+    validate_binary(key, "key")
+    return tuple(
+        sorted(
+            peer.peer_id
+            for peer in peers.values()
+            if peer.is_responsible_for(key)
+        )
+    )
+
+
+def replication_factor(peers: Mapping[str, PGridPeer]) -> float:
+    """Average number of replicas per occupied path (1.0 means no replication)."""
+    groups = replica_groups(peers)
+    if not groups:
+        return 0.0
+    return sum(len(ids) for ids in groups.values()) / len(groups)

@@ -1,0 +1,79 @@
+"""Prefix routing over the P-Grid trie."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.exceptions import RoutingError
+from repro.pgrid.keyspace import common_prefix_length, validate_binary
+from repro.pgrid.node import PGridPeer
+
+__all__ = ["RouteResult", "route"]
+
+#: Safety bound on the number of hops before a route is declared failed.
+DEFAULT_MAX_HOPS = 64
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing a key from a start peer."""
+
+    success: bool
+    responsible_peer_id: Optional[str]
+    hops: int
+    visited: Tuple[str, ...]
+
+    @property
+    def messages(self) -> int:
+        """Number of messages sent (one per hop)."""
+        return self.hops
+
+
+def route(
+    peers: Mapping[str, PGridPeer],
+    start_id: str,
+    key: str,
+    rng: Optional[random.Random] = None,
+    max_hops: int = DEFAULT_MAX_HOPS,
+) -> RouteResult:
+    """Route ``key`` from ``start_id`` to a peer responsible for it.
+
+    Each hop resolves at least one further bit of the key by following the
+    routing reference for the first level at which the current peer's path
+    disagrees with the key.  The route fails when a needed reference is
+    missing or when ``max_hops`` is exceeded.
+    """
+    validate_binary(key, "key")
+    if start_id not in peers:
+        raise RoutingError(f"unknown start peer {start_id!r}")
+    current = peers[start_id]
+    visited = [current.peer_id]
+    hops = 0
+    while hops <= max_hops:
+        if current.is_responsible_for(key):
+            return RouteResult(
+                success=True,
+                responsible_peer_id=current.peer_id,
+                hops=hops,
+                visited=tuple(visited),
+            )
+        # The peer's path and the key disagree at some position < len(path);
+        # the reference at that (1-based) level covers the right subtree.
+        divergence = common_prefix_length(current.path, key)
+        level = divergence + 1
+        next_id = current.pick_reference(level, rng)
+        if next_id is None or next_id not in peers:
+            return RouteResult(
+                success=False,
+                responsible_peer_id=None,
+                hops=hops,
+                visited=tuple(visited),
+            )
+        current = peers[next_id]
+        visited.append(current.peer_id)
+        hops += 1
+    return RouteResult(
+        success=False, responsible_peer_id=None, hops=hops, visited=tuple(visited)
+    )

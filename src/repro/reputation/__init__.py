@@ -1,0 +1,28 @@
+"""Reputation management: collecting, storing and spreading behaviour data.
+
+Implements the "reputation management" box of the paper's reference model
+(Figure 1): interaction records and ratings, local and P-Grid-backed stores,
+witness reporting, and the per-peer :class:`ReputationManager` façade that
+closes the feedback loop between interactions and trust estimates.
+"""
+
+from repro.reputation.manager import ReputationManager, TrustMethod
+from repro.reputation.records import InteractionRecord, Rating
+from repro.reputation.reporting import (
+    WitnessPool,
+    collect_witness_reports,
+    indirect_belief,
+)
+from repro.reputation.store import DistributedReputationStore, LocalReputationStore
+
+__all__ = [
+    "InteractionRecord",
+    "Rating",
+    "LocalReputationStore",
+    "DistributedReputationStore",
+    "WitnessPool",
+    "collect_witness_reports",
+    "indirect_belief",
+    "ReputationManager",
+    "TrustMethod",
+]

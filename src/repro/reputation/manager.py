@@ -1,0 +1,214 @@
+"""The per-peer reputation management façade (Figure 1 of the paper).
+
+:class:`ReputationManager` is what a peer in the community simulation holds.
+It implements the feedback loop of the reference model: interaction outcomes
+are fed back in (:meth:`record_interaction`), evidence is spread (complaints
+filed to a shared / distributed store, ratings exposed to witnesses), and the
+trust-learning side answers :meth:`trust_estimate` queries that the decision
+making module then consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.exchange import Role
+from repro.exceptions import ReputationError
+from repro.reputation.records import InteractionRecord, Rating
+from repro.reputation.reporting import WitnessPool, indirect_belief
+from repro.trust.beta import BetaTrustModel
+from repro.trust.complaint import ComplaintStore, ComplaintTrustModel, LocalComplaintStore
+from repro.trust.decay import DecayModel
+
+__all__ = ["TrustMethod", "ReputationManager"]
+
+
+class TrustMethod:
+    """Names of the trust estimation methods a manager can use."""
+
+    BETA = "beta"
+    COMPLAINT = "complaint"
+    COMBINED = "combined"
+
+    ALL = (BETA, COMPLAINT, COMBINED)
+
+
+class ReputationManager:
+    """Reputation and trust management for one community member.
+
+    Parameters
+    ----------
+    owner_id:
+        The peer this manager belongs to.
+    complaint_store:
+        Shared (possibly distributed) complaint store; defaults to a private
+        local store.
+    prior_alpha, prior_beta:
+        Prior of the Bayesian trust model.
+    decay:
+        Optional evidence decay for the Bayesian model.
+    complaint_tolerance_factor:
+        Tolerance factor of the complaint-based decision rule.
+    complaint_metric_mode:
+        Metric of the complaint model.  The manager defaults to ``balanced``
+        (``cr * (1 + cf)``) rather than the faithful product, because the
+        manager's complaint-based *trust value* must penalise peers that
+        cheat without ever filing complaints themselves.
+    """
+
+    def __init__(
+        self,
+        owner_id: str,
+        complaint_store: Optional[ComplaintStore] = None,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+        decay: Optional[DecayModel] = None,
+        complaint_tolerance_factor: float = 4.0,
+        complaint_metric_mode: str = "balanced",
+    ):
+        if not owner_id:
+            raise ReputationError("owner_id must be non-empty")
+        self._owner_id = owner_id
+        self._beta_model = BetaTrustModel(
+            prior_alpha=prior_alpha, prior_beta=prior_beta, decay=decay
+        )
+        self._complaint_model = ComplaintTrustModel(
+            store=complaint_store if complaint_store is not None else LocalComplaintStore(),
+            tolerance_factor=complaint_tolerance_factor,
+            metric_mode=complaint_metric_mode,
+        )
+        self._interactions: list[InteractionRecord] = []
+        self._ratings_given: list[Rating] = []
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def owner_id(self) -> str:
+        return self._owner_id
+
+    @property
+    def beta_model(self) -> BetaTrustModel:
+        return self._beta_model
+
+    @property
+    def complaint_model(self) -> ComplaintTrustModel:
+        return self._complaint_model
+
+    @property
+    def interactions(self) -> tuple:
+        return tuple(self._interactions)
+
+    def interaction_count(self, partner_id: Optional[str] = None) -> int:
+        if partner_id is None:
+            return len(self._interactions)
+        return sum(
+            1
+            for record in self._interactions
+            if partner_id in (record.supplier_id, record.consumer_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback loop: record outcomes, spread evidence
+    # ------------------------------------------------------------------
+    def record_interaction(self, record: InteractionRecord) -> None:
+        """Feed an interaction outcome back into the reputation system.
+
+        The manager only accepts records its owner participated in; it
+        updates the Bayesian model with the partner's behaviour, produces a
+        rating, and files a complaint when the partner defected.
+        """
+        if self._owner_id == record.supplier_id:
+            own_role = Role.SUPPLIER
+        elif self._owner_id == record.consumer_id:
+            own_role = Role.CONSUMER
+        else:
+            raise ReputationError(
+                f"peer {self._owner_id!r} is not a participant of the record"
+            )
+        partner_role = own_role.other
+        partner_id = record.participant(partner_role)
+        partner_honest = record.honest(partner_role)
+
+        self._interactions.append(record)
+        self._beta_model.record_outcome(
+            subject_id=partner_id,
+            honest=partner_honest,
+            observer_id=self._owner_id,
+            timestamp=record.timestamp,
+            weight=max(1.0, record.value) if record.value > 0 else 1.0,
+        )
+        rating = Rating.from_interaction(record, rated_role=partner_role)
+        self._ratings_given.append(rating)
+        if not partner_honest:
+            self._complaint_model.file_complaint(
+                complainant_id=self._owner_id,
+                accused_id=partner_id,
+                timestamp=record.timestamp,
+            )
+
+    # ------------------------------------------------------------------
+    # Trust queries (consumed by the decision-making module)
+    # ------------------------------------------------------------------
+    def trust_estimate(
+        self,
+        subject_id: str,
+        method: str = TrustMethod.BETA,
+        now: Optional[float] = None,
+        witness_pool: Optional[WitnessPool] = None,
+        witness_trusts: Optional[Mapping[str, float]] = None,
+    ) -> float:
+        """Probability estimate that ``subject_id`` will behave honestly.
+
+        ``method`` selects the underlying model: the Bayesian beta model
+        (optionally augmented with witness reports when a ``witness_pool`` is
+        supplied), the complaint-based model, or the conservative combination
+        (minimum) of both.
+        """
+        if method not in TrustMethod.ALL:
+            raise ReputationError(f"unknown trust method {method!r}")
+        if method == TrustMethod.BETA:
+            return self._beta_trust(subject_id, now, witness_pool, witness_trusts)
+        if method == TrustMethod.COMPLAINT:
+            return self._complaint_model.trust(subject_id)
+        beta_estimate = self._beta_trust(subject_id, now, witness_pool, witness_trusts)
+        complaint_estimate = self._complaint_model.trust(subject_id)
+        return min(beta_estimate, complaint_estimate)
+
+    def is_trustworthy(
+        self, subject_id: str, threshold: float = 0.5, method: str = TrustMethod.BETA
+    ) -> bool:
+        """Binary gate used by simple strategies."""
+        if method == TrustMethod.COMPLAINT:
+            return self._complaint_model.is_trustworthy(subject_id)
+        return self.trust_estimate(subject_id, method=method) >= threshold
+
+    def trust_snapshot(self, method: str = TrustMethod.BETA) -> Dict[str, float]:
+        """Trust estimates for every subject the manager has evidence about."""
+        subjects = set(self._beta_model.known_subjects())
+        subjects.update(self._complaint_model.store.known_agents())
+        subjects.discard(self._owner_id)
+        return {
+            subject_id: self.trust_estimate(subject_id, method=method)
+            for subject_id in sorted(subjects)
+        }
+
+    # ------------------------------------------------------------------
+    def _beta_trust(
+        self,
+        subject_id: str,
+        now: Optional[float],
+        witness_pool: Optional[WitnessPool],
+        witness_trusts: Optional[Mapping[str, float]],
+    ) -> float:
+        if witness_pool is None:
+            return self._beta_model.trust(subject_id, now=now)
+        belief = indirect_belief(
+            subject_id,
+            self._beta_model,
+            witness_pool,
+            witness_trusts=witness_trusts,
+            exclude=(self._owner_id,),
+        )
+        return belief.mean

@@ -1,0 +1,111 @@
+"""Reputation reporting protocols: gathering second-hand evidence.
+
+When a peer has little or no first-hand experience with a prospective
+partner it asks *witnesses* for their beliefs.  Witnesses may be honest
+(report their true belief), lie by inverting their belief (bad-mouthing or
+ballot-stuffing), or simply be unavailable.  The collected
+:class:`~repro.trust.aggregation.WitnessReport` objects are discounted by the
+requester's trust in each witness before being merged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.exceptions import ReputationError
+from repro.trust.aggregation import WitnessReport, combine_beta_evidence
+from repro.trust.beta import BetaBelief, BetaTrustModel
+
+__all__ = ["WitnessPool", "collect_witness_reports", "indirect_belief"]
+
+
+@dataclass
+class WitnessPool:
+    """A set of witnesses (peers with their own beta trust models).
+
+    Attributes
+    ----------
+    models:
+        Mapping from witness id to that witness's :class:`BetaTrustModel`.
+    liars:
+        Witnesses that invert their reports (they swap the honest and
+        dishonest evidence counts), modelling bad-mouthing / ballot stuffing.
+    availability:
+        Probability that a witness answers a request at all.
+    """
+
+    models: Dict[str, BetaTrustModel]
+    liars: Set[str] = None  # type: ignore[assignment]
+    availability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.liars is None:
+            self.liars = set()
+        unknown_liars = self.liars - set(self.models)
+        if unknown_liars:
+            raise ReputationError(f"liars not in the witness pool: {unknown_liars}")
+        if not 0.0 <= self.availability <= 1.0:
+            raise ReputationError(
+                f"availability must lie in [0, 1], got {self.availability}"
+            )
+
+    def report_of(self, witness_id: str, subject_id: str) -> BetaBelief:
+        """The belief the witness reports about the subject (possibly forged)."""
+        model = self.models[witness_id]
+        belief = model.belief(subject_id)
+        if witness_id in self.liars:
+            return BetaBelief(alpha=belief.beta, beta=belief.alpha)
+        return belief
+
+
+def collect_witness_reports(
+    subject_id: str,
+    pool: WitnessPool,
+    witness_trusts: Optional[Mapping[str, float]] = None,
+    exclude: Optional[Iterable[str]] = None,
+    rng: Optional[random.Random] = None,
+) -> List[WitnessReport]:
+    """Ask every available witness about ``subject_id``.
+
+    ``witness_trusts`` supplies the requester's trust in each witness (used
+    later as the discount); missing entries default to full trust.  The
+    subject itself and any ids in ``exclude`` are never asked.
+    """
+    generator = rng if rng is not None else random.Random()
+    excluded = set(exclude or ())
+    excluded.add(subject_id)
+    trusts = witness_trusts or {}
+    reports: List[WitnessReport] = []
+    for witness_id in pool.models:
+        if witness_id in excluded:
+            continue
+        if pool.availability < 1.0 and generator.random() > pool.availability:
+            continue
+        if pool.models[witness_id].observation_count(subject_id) == 0:
+            continue
+        reports.append(
+            WitnessReport(
+                witness_id=witness_id,
+                belief=pool.report_of(witness_id, subject_id),
+                witness_trust=trusts.get(witness_id, 1.0),
+            )
+        )
+    return reports
+
+
+def indirect_belief(
+    subject_id: str,
+    own_model: BetaTrustModel,
+    pool: WitnessPool,
+    witness_trusts: Optional[Mapping[str, float]] = None,
+    exclude: Optional[Iterable[str]] = None,
+    rng: Optional[random.Random] = None,
+) -> BetaBelief:
+    """First-hand belief augmented with discounted witness evidence."""
+    direct = own_model.belief(subject_id)
+    reports = collect_witness_reports(
+        subject_id, pool, witness_trusts=witness_trusts, exclude=exclude, rng=rng
+    )
+    return combine_beta_evidence(direct, reports)

@@ -1,0 +1,203 @@
+"""Reputation stores: where ratings and complaints are kept.
+
+Two implementations of the same interface are provided:
+
+* :class:`LocalReputationStore` — a plain in-memory store, modelling either a
+  central reputation authority or the peer's own private records.
+* :class:`DistributedReputationStore` — stores every record in a
+  :class:`~repro.pgrid.network.PGridNetwork`, keyed by the subject (for data
+  *about* an agent) and by the author (for data *filed by* an agent), which
+  is how the complaint-based trust model of Aberer & Despotovic distributes
+  its evidence.  The distributed store also implements the
+  :class:`~repro.trust.complaint.ComplaintStore` protocol so it can back a
+  :class:`~repro.trust.complaint.ComplaintTrustModel` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ReputationError, TrustModelError
+from repro.pgrid.network import PGridNetwork
+from repro.reputation.records import InteractionRecord, Rating
+from repro.trust.evidence import Complaint
+
+__all__ = ["LocalReputationStore", "DistributedReputationStore"]
+
+
+def _complaint_to_payload(complaint: Complaint) -> str:
+    return f"complaint|{complaint.complainant_id}|{complaint.accused_id}|{complaint.timestamp}"
+
+
+def _payload_to_complaint(payload: str) -> Optional[Complaint]:
+    parts = payload.split("|")
+    if len(parts) != 4 or parts[0] != "complaint":
+        return None
+    try:
+        return Complaint(
+            complainant_id=parts[1], accused_id=parts[2], timestamp=float(parts[3])
+        )
+    except (ValueError, TrustModelError):
+        return None
+
+
+class LocalReputationStore:
+    """In-memory reputation store holding ratings, records and complaints."""
+
+    def __init__(self) -> None:
+        self._ratings: List[Rating] = []
+        self._records: List[InteractionRecord] = []
+        self._complaints: List[Complaint] = []
+
+    # -- ratings -------------------------------------------------------
+    def add_rating(self, rating: Rating) -> None:
+        self._ratings.append(rating)
+
+    def ratings_about(self, subject_id: str) -> Sequence[Rating]:
+        return [rating for rating in self._ratings if rating.subject_id == subject_id]
+
+    def ratings_by(self, rater_id: str) -> Sequence[Rating]:
+        return [rating for rating in self._ratings if rating.rater_id == rater_id]
+
+    # -- interaction records --------------------------------------------
+    def add_record(self, record: InteractionRecord) -> None:
+        self._records.append(record)
+
+    def records_involving(self, agent_id: str) -> Sequence[InteractionRecord]:
+        return [
+            record
+            for record in self._records
+            if agent_id in (record.supplier_id, record.consumer_id)
+        ]
+
+    @property
+    def records(self) -> Tuple[InteractionRecord, ...]:
+        return tuple(self._records)
+
+    # -- complaints (ComplaintStore protocol) ----------------------------
+    def file_complaint(self, complaint: Complaint) -> None:
+        self._complaints.append(complaint)
+
+    def complaints_about(self, agent_id: str) -> Sequence[Complaint]:
+        return [c for c in self._complaints if c.accused_id == agent_id]
+
+    def complaints_by(self, agent_id: str) -> Sequence[Complaint]:
+        return [c for c in self._complaints if c.complainant_id == agent_id]
+
+    def known_agents(self) -> Sequence[str]:
+        agents: List[str] = []
+        for rating in self._ratings:
+            for agent_id in (rating.rater_id, rating.subject_id):
+                if agent_id not in agents:
+                    agents.append(agent_id)
+        for complaint in self._complaints:
+            for agent_id in (complaint.complainant_id, complaint.accused_id):
+                if agent_id not in agents:
+                    agents.append(agent_id)
+        for record in self._records:
+            for agent_id in (record.supplier_id, record.consumer_id):
+                if agent_id not in agents:
+                    agents.append(agent_id)
+        return agents
+
+
+class DistributedReputationStore:
+    """Reputation store backed by the P-Grid substrate.
+
+    Records about agent ``q`` are stored under the application key
+    ``about:q`` and records authored by ``q`` under ``by:q``; both lookups
+    are therefore ordinary P-Grid queries whose cost is accounted by the
+    network's statistics.
+
+    A decentralised store cannot enumerate "all agents", so the store keeps a
+    local registry of the agent identifiers it has touched, which stands in
+    for the community directory the original system obtains out of band.
+    """
+
+    ABOUT_PREFIX = "about:"
+    BY_PREFIX = "by:"
+    RATING_ABOUT_PREFIX = "rating-about:"
+
+    def __init__(self, network: PGridNetwork):
+        self._network = network
+        self._known_agents: List[str] = []
+
+    @property
+    def network(self) -> PGridNetwork:
+        return self._network
+
+    def _remember(self, *agent_ids: str) -> None:
+        for agent_id in agent_ids:
+            if agent_id and agent_id not in self._known_agents:
+                self._known_agents.append(agent_id)
+
+    # -- ratings -------------------------------------------------------
+    def add_rating(self, rating: Rating) -> None:
+        self._remember(rating.rater_id, rating.subject_id)
+        self._network.insert(
+            self.RATING_ABOUT_PREFIX + rating.subject_id, rating.to_json()
+        )
+
+    def ratings_about(self, subject_id: str) -> Sequence[Rating]:
+        result = self._network.query(self.RATING_ABOUT_PREFIX + subject_id)
+        ratings: List[Rating] = []
+        for payload in result.values:
+            try:
+                ratings.append(Rating.from_json(payload))
+            except ReputationError:
+                continue
+        return ratings
+
+    # -- complaints (ComplaintStore protocol) ----------------------------
+    def file_complaint(self, complaint: Complaint) -> None:
+        self._remember(complaint.complainant_id, complaint.accused_id)
+        payload = _complaint_to_payload(complaint)
+        self._network.insert(self.ABOUT_PREFIX + complaint.accused_id, payload)
+        self._network.insert(self.BY_PREFIX + complaint.complainant_id, payload)
+
+    def complaints_about(self, agent_id: str) -> Sequence[Complaint]:
+        result = self._network.query(self.ABOUT_PREFIX + agent_id)
+        return self._decode_complaints(result.values)
+
+    def complaints_by(self, agent_id: str) -> Sequence[Complaint]:
+        result = self._network.query(self.BY_PREFIX + agent_id)
+        return self._decode_complaints(result.values)
+
+    def complaint_reports_about(
+        self, agent_id: str, max_replicas: Optional[int] = None
+    ) -> List[Tuple[int, int]]:
+        """Per-replica ``(received, filed)`` counts for witness aggregation."""
+        about_results = self._network.query_replicas(
+            self.ABOUT_PREFIX + agent_id, max_replicas=max_replicas
+        )
+        by_results = self._network.query_replicas(
+            self.BY_PREFIX + agent_id, max_replicas=max_replicas
+        )
+        reports: List[Tuple[int, int]] = []
+        pairs = max(len(about_results), len(by_results))
+        for index in range(pairs):
+            received = (
+                len(self._decode_complaints(about_results[index].values))
+                if index < len(about_results)
+                else 0
+            )
+            filed = (
+                len(self._decode_complaints(by_results[index].values))
+                if index < len(by_results)
+                else 0
+            )
+            reports.append((received, filed))
+        return reports
+
+    def known_agents(self) -> Sequence[str]:
+        return list(self._known_agents)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_complaints(payloads: Iterable[str]) -> List[Complaint]:
+        complaints: List[Complaint] = []
+        for payload in payloads:
+            complaint = _payload_to_complaint(payload)
+            if complaint is not None:
+                complaints.append(complaint)
+        return complaints

@@ -1,0 +1,60 @@
+"""Discrete-event simulation of the peer community.
+
+Contains the deterministic event engine, a latency/loss network model,
+behaviour models (ground truth), peers, churn, and the round-based community
+orchestration used by the end-to-end experiments.
+"""
+
+from repro.simulation.behaviors import (
+    BehaviorModel,
+    FluctuatingBehavior,
+    HonestBehavior,
+    OpportunisticBehavior,
+    ProbabilisticBehavior,
+    RationalDefectorBehavior,
+)
+from repro.simulation.churn import ChurnEvent, ChurnModel
+from repro.simulation.community import (
+    CommunityConfig,
+    CommunityResult,
+    CommunitySimulation,
+    RoundStats,
+)
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.network import (
+    ExponentialLatency,
+    FixedLatency,
+    LatencyModel,
+    Message,
+    SimulatedNetwork,
+    UniformLatency,
+)
+from repro.simulation.peer import CommunityPeer
+from repro.simulation.rng import RandomStreams
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "RandomStreams",
+    "Message",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "SimulatedNetwork",
+    "BehaviorModel",
+    "HonestBehavior",
+    "RationalDefectorBehavior",
+    "OpportunisticBehavior",
+    "ProbabilisticBehavior",
+    "FluctuatingBehavior",
+    "CommunityPeer",
+    "ChurnModel",
+    "ChurnEvent",
+    "CommunityConfig",
+    "RoundStats",
+    "CommunityResult",
+    "CommunitySimulation",
+]

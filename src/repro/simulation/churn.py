@@ -1,0 +1,93 @@
+"""Churn: peers joining and leaving the community over time."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.simulation.peer import CommunityPeer
+
+__all__ = ["ChurnModel", "ChurnEvent"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """What churn did to the community in one round."""
+
+    round_index: int
+    departed: Tuple[str, ...]
+    arrived: Tuple[str, ...]
+
+
+@dataclass
+class ChurnModel:
+    """Per-round departure probability and expected arrivals.
+
+    ``departure_probability`` is applied independently to every peer each
+    round; ``arrival_rate`` is the expected number of new peers per round
+    (sampled as a Poisson-like integer by accumulating the fractional part).
+    ``min_population`` prevents the community from collapsing entirely.
+    """
+
+    departure_probability: float = 0.0
+    arrival_rate: float = 0.0
+    min_population: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.departure_probability <= 1.0:
+            raise SimulationError(
+                "departure_probability must lie in [0, 1], got "
+                f"{self.departure_probability}"
+            )
+        if self.arrival_rate < 0:
+            raise SimulationError("arrival_rate must be >= 0")
+        if self.min_population < 0:
+            raise SimulationError("min_population must be >= 0")
+        self._arrival_carry = 0.0
+
+    @property
+    def is_active(self) -> bool:
+        return self.departure_probability > 0.0 or self.arrival_rate > 0.0
+
+    def apply(
+        self,
+        peers: List[CommunityPeer],
+        round_index: int,
+        rng: random.Random,
+        peer_factory: Callable[[int], CommunityPeer],
+    ) -> ChurnEvent:
+        """Mutate ``peers`` in place; return what happened.
+
+        ``peer_factory`` builds a fresh peer given a running arrival counter
+        (used to generate unique ids and assign a behaviour).
+        """
+        departed: List[str] = []
+        if self.departure_probability > 0.0:
+            survivors: List[CommunityPeer] = []
+            for peer in peers:
+                if (
+                    len(peers) - len(departed) > self.min_population
+                    and rng.random() < self.departure_probability
+                ):
+                    departed.append(peer.peer_id)
+                else:
+                    survivors.append(peer)
+            peers[:] = survivors
+
+        arrived: List[str] = []
+        if self.arrival_rate > 0.0:
+            self._arrival_carry += self.arrival_rate
+            arrivals = int(self._arrival_carry)
+            self._arrival_carry -= arrivals
+            for index in range(arrivals):
+                new_peer = peer_factory(round_index * 1000 + index)
+                peers.append(new_peer)
+                arrived.append(new_peer.peer_id)
+
+        return ChurnEvent(
+            round_index=round_index,
+            departed=tuple(departed),
+            arrived=tuple(arrived),
+        )

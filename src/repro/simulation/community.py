@@ -1,0 +1,335 @@
+"""Round-based simulation of a trading community.
+
+This is the end-to-end experiment harness: a population of peers with
+heterogeneous behaviours repeatedly lists goods, discovers partners,
+negotiates prices, schedules exchanges with a configurable strategy,
+executes them (with possible defections), and feeds the outcomes back into
+the reputation layer — the full loop of the paper's Figure 1.
+
+The result object carries per-round and aggregate accounts (completion rate,
+welfare, defection losses) plus the data needed to evaluate the trust models
+against the peers' ground-truth honesty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.negotiation import split_surplus_price
+from repro.core.valuation import MarginValuationModel, ValuationModel
+from repro.exceptions import NegotiationError, SimulationError
+from repro.marketplace.accounting import CommunityAccounts, Ledger
+from repro.marketplace.listing import Listing
+from repro.marketplace.matching import random_matching, trust_weighted_matching
+from repro.marketplace.protocol import ExchangeOutcome, run_exchange
+from repro.marketplace.strategy import ExchangeStrategy, StrategyContext
+from repro.simulation.churn import ChurnEvent, ChurnModel
+from repro.simulation.peer import CommunityPeer
+from repro.simulation.rng import RandomStreams
+
+__all__ = ["CommunityConfig", "RoundStats", "CommunityResult", "CommunitySimulation"]
+
+
+@dataclass
+class CommunityConfig:
+    """Parameters of one community run (everything except peers and strategy)."""
+
+    rounds: int = 50
+    bundle_size: int = 4
+    valuation_model: Optional[ValuationModel] = None
+    supplier_surplus_share: float = 0.5
+    matching: str = "random"  # "random" or "trust"
+    defection_penalty: float = 0.0
+    seed: int = 0
+    max_trades_per_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise SimulationError(f"rounds must be > 0, got {self.rounds}")
+        if self.bundle_size <= 0:
+            raise SimulationError(f"bundle_size must be > 0, got {self.bundle_size}")
+        if not 0.0 <= self.supplier_surplus_share <= 1.0:
+            raise SimulationError("supplier_surplus_share must lie in [0, 1]")
+        if self.matching not in ("random", "trust"):
+            raise SimulationError(
+                f"matching must be 'random' or 'trust', got {self.matching!r}"
+            )
+        if self.defection_penalty < 0:
+            raise SimulationError("defection_penalty must be >= 0")
+        if self.valuation_model is None:
+            self.valuation_model = MarginValuationModel(
+                cost_low=1.0, cost_high=10.0, margin_low=-0.1, margin_high=0.6
+            )
+
+
+@dataclass(frozen=True)
+class RoundStats:
+    """Accounts of a single round."""
+
+    round_index: int
+    accounts: CommunityAccounts
+    churn: Optional[ChurnEvent] = None
+
+    @property
+    def completion_rate(self) -> float:
+        return self.accounts.completion_rate
+
+    @property
+    def welfare(self) -> float:
+        return self.accounts.total_welfare
+
+
+@dataclass
+class CommunityResult:
+    """Outcome of a full community run."""
+
+    strategy_name: str
+    accounts: CommunityAccounts
+    rounds: List[RoundStats]
+    ledger: Ledger
+    true_honesty: Dict[str, float]
+    outcomes: List[ExchangeOutcome] = field(default_factory=list)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.accounts.completion_rate
+
+    @property
+    def total_welfare(self) -> float:
+        return self.accounts.total_welfare
+
+    @property
+    def victim_losses(self) -> float:
+        return self.accounts.victim_losses
+
+    def welfare_series(self) -> List[float]:
+        """Per-round realised welfare (for the dynamics figure)."""
+        return [round_stats.accounts.total_welfare for round_stats in self.rounds]
+
+    def completion_series(self) -> List[float]:
+        """Per-round completion rate."""
+        return [round_stats.completion_rate for round_stats in self.rounds]
+
+    def honest_peer_ids(self, honesty_threshold: float = 0.99) -> List[str]:
+        """Peers whose ground-truth honesty is at least the threshold."""
+        return [
+            peer_id
+            for peer_id, honesty in self.true_honesty.items()
+            if honesty >= honesty_threshold
+        ]
+
+    def honest_welfare(self, honesty_threshold: float = 0.99) -> float:
+        """Cumulative realised payoff of the honest peers.
+
+        This is the headline comparison metric of the strategy experiments:
+        naive strategies realise a lot of raw surplus but hand much of it to
+        defectors, which shows up here as losses of the honest population.
+        """
+        return sum(
+            self.ledger.balance(peer_id)
+            for peer_id in self.honest_peer_ids(honesty_threshold)
+        )
+
+    def honest_losses(self, honesty_threshold: float = 0.99) -> float:
+        """Losses honest peers suffered as victims of defection."""
+        return sum(
+            self.ledger.victim_losses(peer_id)
+            for peer_id in self.honest_peer_ids(honesty_threshold)
+        )
+
+
+class CommunitySimulation:
+    """Runs a strategy over a community of peers for a number of rounds."""
+
+    def __init__(
+        self,
+        peers: Sequence[CommunityPeer],
+        strategy: ExchangeStrategy,
+        config: Optional[CommunityConfig] = None,
+        churn: Optional[ChurnModel] = None,
+        peer_factory: Optional[Callable[[int], CommunityPeer]] = None,
+    ):
+        if len(peers) < 2:
+            raise SimulationError("a community needs at least two peers")
+        self._peers: List[CommunityPeer] = list(peers)
+        self._strategy = strategy
+        self._config = config if config is not None else CommunityConfig()
+        self._churn = churn
+        self._peer_factory = peer_factory
+        if self._churn is not None and self._churn.arrival_rate > 0 and peer_factory is None:
+            raise SimulationError(
+                "churn with arrivals requires a peer_factory to build new peers"
+            )
+        self._streams = RandomStreams(self._config.seed)
+
+    # ------------------------------------------------------------------
+    @property
+    def peers(self) -> List[CommunityPeer]:
+        return self._peers
+
+    @property
+    def config(self) -> CommunityConfig:
+        return self._config
+
+    def peer_by_id(self, peer_id: str) -> CommunityPeer:
+        for peer in self._peers:
+            if peer.peer_id == peer_id:
+                return peer
+        raise SimulationError(f"unknown peer {peer_id!r}")
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, collect_outcomes: bool = False) -> CommunityResult:
+        """Execute the configured number of rounds and return the result."""
+        total_accounts = CommunityAccounts()
+        round_stats: List[RoundStats] = []
+        ledger = Ledger()
+        outcomes: List[ExchangeOutcome] = []
+
+        for round_index in range(self._config.rounds):
+            churn_event = self._apply_churn(round_index)
+            round_accounts = CommunityAccounts()
+            timestamp = float(round_index)
+            matches = self._build_matches(round_index)
+            if self._config.max_trades_per_round is not None:
+                matches = matches[: self._config.max_trades_per_round]
+            for consumer_id, listing in matches:
+                outcome = self._execute_match(
+                    consumer_id, listing, timestamp, round_index
+                )
+                if outcome is None:
+                    continue
+                if outcome.scheduled and outcome.result is not None:
+                    round_accounts.record_executed(outcome.result)
+                    ledger.record(
+                        outcome.result,
+                        supplier_id=outcome.supplier_id,
+                        consumer_id=outcome.consumer_id,
+                        timestamp=timestamp,
+                    )
+                else:
+                    round_accounts.record_declined()
+                if collect_outcomes:
+                    outcomes.append(outcome)
+            total_accounts = total_accounts.merge(round_accounts)
+            round_stats.append(
+                RoundStats(
+                    round_index=round_index,
+                    accounts=round_accounts,
+                    churn=churn_event,
+                )
+            )
+
+        true_honesty = {peer.peer_id: peer.true_honesty for peer in self._peers}
+        return CommunityResult(
+            strategy_name=self._strategy.describe(),
+            accounts=total_accounts,
+            rounds=round_stats,
+            ledger=ledger,
+            true_honesty=true_honesty,
+            outcomes=outcomes,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _apply_churn(self, round_index: int) -> Optional[ChurnEvent]:
+        if self._churn is None or not self._churn.is_active:
+            return None
+        factory = self._peer_factory or (lambda _index: None)  # pragma: no cover
+        return self._churn.apply(
+            self._peers, round_index, self._streams("churn"), factory
+        )
+
+    def _build_listings(self, round_index: int) -> List[Listing]:
+        rng = self._streams("valuations")
+        listings: List[Listing] = []
+        for peer in self._peers:
+            if not peer.supplies_goods:
+                continue
+            assert self._config.valuation_model is not None
+            bundle = self._config.valuation_model.sample_bundle(
+                rng, self._config.bundle_size, prefix=f"{peer.peer_id}-r{round_index}"
+            )
+            if len(bundle) == 0 or not bundle.is_rational_trade:
+                continue
+            listings.append(
+                Listing.create(
+                    supplier_id=peer.peer_id,
+                    bundle=bundle,
+                    created_at=float(round_index),
+                )
+            )
+        return listings
+
+    def _build_matches(self, round_index: int) -> List[Tuple[str, Listing]]:
+        listings = self._build_listings(round_index)
+        consumer_ids = [peer.peer_id for peer in self._peers if peer.consumes_goods]
+        rng = self._streams("matching")
+        if self._config.matching == "trust":
+            now = float(round_index)
+
+            def trust_of(consumer_id: str, supplier_id: str) -> float:
+                return self.peer_by_id(consumer_id).trust_in(supplier_id, now=now)
+
+            return trust_weighted_matching(consumer_ids, listings, trust_of, rng)
+        return random_matching(consumer_ids, listings, rng)
+
+    def _execute_match(
+        self,
+        consumer_id: str,
+        listing: Listing,
+        timestamp: float,
+        round_index: int,
+    ) -> Optional[ExchangeOutcome]:
+        supplier = self.peer_by_id(listing.supplier_id)
+        consumer = self.peer_by_id(consumer_id)
+        try:
+            negotiation = split_surplus_price(
+                listing.bundle, supplier_share=self._config.supplier_surplus_share
+            )
+        except NegotiationError:
+            return None
+        context = StrategyContext(
+            supplier_trust_in_consumer=supplier.trust_in(consumer_id, now=timestamp),
+            consumer_trust_in_supplier=consumer.trust_in(
+                listing.supplier_id, now=timestamp
+            ),
+            supplier_defection_penalty=max(
+                self._config.defection_penalty, supplier.defection_penalty
+            ),
+            consumer_defection_penalty=max(
+                self._config.defection_penalty, consumer.defection_penalty
+            ),
+            timestamp=timestamp,
+        )
+        outcome = run_exchange(
+            supplier_id=supplier.peer_id,
+            consumer_id=consumer.peer_id,
+            bundle=listing.bundle,
+            price=negotiation.price,
+            strategy=self._strategy,
+            context=context,
+            supplier_behavior=supplier.behavior,
+            consumer_behavior=consumer.behavior,
+            rng=self._streams("execution"),
+            timestamp=timestamp,
+        )
+        if outcome.record is not None:
+            supplier.observe_outcome(outcome.record)
+            consumer.observe_outcome(outcome.record)
+            # Malicious peers may additionally pollute the complaint store
+            # after interactions in which the partner did not defect.
+            complaint_rng = self._streams("complaints")
+            if outcome.record.consumer_honest:
+                supplier.maybe_file_false_complaint(
+                    consumer.peer_id, complaint_rng, timestamp
+                )
+            if outcome.record.supplier_honest:
+                consumer.maybe_file_false_complaint(
+                    supplier.peer_id, complaint_rng, timestamp
+                )
+        return outcome

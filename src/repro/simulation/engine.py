@@ -1,0 +1,156 @@
+"""The discrete-event simulation engine.
+
+A small, deterministic event-driven kernel: callbacks are scheduled at
+absolute times or relative delays and executed in time order.  The engine is
+what the simulated network, churn process and community orchestration hang
+off; it is deliberately minimal (no coroutine processes) because the
+experiments only need scheduled callbacks and periodic activities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock and counters
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule a callback at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (now={self._now}, requested={time})"
+            )
+        return self._queue.push(time, callback, args=args, priority=priority)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule a callback ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        start_delay: Optional[float] = None,
+        repetitions: Optional[int] = None,
+    ) -> None:
+        """Schedule a callback to repeat every ``interval`` time units.
+
+        ``repetitions`` bounds the number of invocations (unbounded when
+        ``None`` — the run is then limited by the ``until`` argument of
+        :meth:`run`).
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        if repetitions is not None and repetitions <= 0:
+            return
+        first_delay = interval if start_delay is None else start_delay
+
+        def wrapper() -> None:
+            callback(*args)
+            remaining = None if repetitions is None else repetitions - 1
+            if remaining is None or remaining > 0:
+                self.schedule_periodic(
+                    interval,
+                    callback,
+                    *args,
+                    start_delay=interval,
+                    repetitions=remaining,
+                )
+
+        self.schedule_in(first_delay, wrapper)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event from the past")
+        self._now = event.time
+        event.fire()
+        self._processed += 1
+        return True
+
+    def run(
+        self, until: Optional[float] = None, max_events: Optional[int] = None
+    ) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (no re-entrant runs)")
+        self._running = True
+        processed_before = self._processed
+        try:
+            while True:
+                if max_events is not None and (
+                    self._processed - processed_before
+                ) >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self._processed - processed_before
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._processed = 0

@@ -1,0 +1,184 @@
+"""Simulated message-passing network (latency and loss).
+
+The community experiments are round-based and do not need packet-level
+fidelity, but the reputation queries and the P-Grid substrate should pay a
+realistic, accountable communication cost.  :class:`SimulatedNetwork` binds a
+latency/loss model to the discrete-event engine and delivers messages to
+registered handlers after a sampled delay.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+
+__all__ = [
+    "Message",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "SimulatedNetwork",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight between two peers."""
+
+    sender_id: str
+    recipient_id: str
+    payload: Any
+    sent_at: float
+    kind: str = "generic"
+
+
+class LatencyModel(abc.ABC):
+    """Samples per-message one-way delays."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """A non-negative delay for one message."""
+
+
+@dataclass
+class FixedLatency(LatencyModel):
+    """Every message takes the same time."""
+
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {self.delay}")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+
+@dataclass
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise SimulationError(
+                f"invalid latency range [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delays with a fixed minimum."""
+
+    mean: float = 1.0
+    minimum: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.minimum < 0:
+            raise SimulationError("mean must be > 0 and minimum >= 0")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.minimum + rng.expovariate(1.0 / self.mean)
+
+
+@dataclass
+class NetworkCounters:
+    """Traffic counters of a simulated network."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    undeliverable: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        if self.delivered == 0:
+            return 0.0
+        return self.total_latency / self.delivered
+
+
+class SimulatedNetwork:
+    """Delivers messages between registered handlers with latency and loss."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        latency: Optional[LatencyModel] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= loss_probability < 1.0:
+            raise SimulationError(
+                f"loss_probability must lie in [0, 1), got {loss_probability}"
+            )
+        self._engine = engine
+        self._latency: LatencyModel = latency if latency is not None else FixedLatency()
+        self._loss_probability = loss_probability
+        self._rng = rng if rng is not None else random.Random(0)
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self.counters = NetworkCounters()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, peer_id: str, handler: Callable[[Message], None]) -> None:
+        """Register the message handler of a peer."""
+        if not peer_id:
+            raise SimulationError("peer_id must be non-empty")
+        self._handlers[peer_id] = handler
+
+    def unregister(self, peer_id: str) -> None:
+        self._handlers.pop(peer_id, None)
+
+    def is_registered(self, peer_id: str) -> bool:
+        return peer_id in self._handlers
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self, sender_id: str, recipient_id: str, payload: Any, kind: str = "generic"
+    ) -> bool:
+        """Send a message; returns ``False`` when it is dropped immediately.
+
+        Dropped means either a sampled loss or an unknown recipient; in both
+        cases no delivery event is scheduled.
+        """
+        self.counters.sent += 1
+        if recipient_id not in self._handlers:
+            self.counters.undeliverable += 1
+            return False
+        if self._loss_probability > 0 and self._rng.random() < self._loss_probability:
+            self.counters.dropped += 1
+            return False
+        delay = self._latency.sample(self._rng)
+        message = Message(
+            sender_id=sender_id,
+            recipient_id=recipient_id,
+            payload=payload,
+            sent_at=self._engine.now,
+            kind=kind,
+        )
+        self._engine.schedule_in(delay, self._deliver, message, delay)
+        return True
+
+    def _deliver(self, message: Message, delay: float) -> None:
+        handler = self._handlers.get(message.recipient_id)
+        if handler is None:
+            self.counters.undeliverable += 1
+            return
+        self.counters.delivered += 1
+        self.counters.total_latency += delay
+        handler(message)

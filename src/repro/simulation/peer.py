@@ -1,0 +1,92 @@
+"""A community member: behaviour, reputation management and risk attitude."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.exceptions import SimulationError
+from repro.reputation.manager import ReputationManager, TrustMethod
+from repro.reputation.records import InteractionRecord
+from repro.simulation.behaviors import BehaviorModel, HonestBehavior
+from repro.trust.complaint import ComplaintStore
+
+__all__ = ["CommunityPeer"]
+
+
+class CommunityPeer:
+    """One member of the simulated online community.
+
+    A peer bundles the three per-member pieces of the reference model: its
+    actual behaviour (ground truth, used when executing exchanges), its
+    reputation/trust management state (the :class:`ReputationManager`), and
+    the economic parameters the decision layer needs (its reputation
+    continuation value, i.e. how much future business a defection would
+    destroy for it).
+    """
+
+    def __init__(
+        self,
+        peer_id: str,
+        behavior: Optional[BehaviorModel] = None,
+        complaint_store: Optional[ComplaintStore] = None,
+        defection_penalty: float = 0.0,
+        supplies_goods: bool = True,
+        consumes_goods: bool = True,
+        trust_method: str = TrustMethod.BETA,
+    ):
+        if not peer_id:
+            raise SimulationError("peer_id must be non-empty")
+        if defection_penalty < 0:
+            raise SimulationError("defection_penalty must be >= 0")
+        self.peer_id = peer_id
+        self.behavior: BehaviorModel = behavior if behavior is not None else HonestBehavior()
+        self.reputation = ReputationManager(
+            owner_id=peer_id, complaint_store=complaint_store
+        )
+        self.defection_penalty = defection_penalty
+        self.supplies_goods = supplies_goods
+        self.consumes_goods = consumes_goods
+        self.trust_method = trust_method
+
+    def __repr__(self) -> str:
+        return (
+            f"CommunityPeer({self.peer_id!r}, behavior={self.behavior.describe()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Trust interface used by the community orchestration
+    # ------------------------------------------------------------------
+    def trust_in(self, partner_id: str, now: Optional[float] = None) -> float:
+        """Current trust estimate in a partner using the peer's configured method."""
+        return self.reputation.trust_estimate(
+            partner_id, method=self.trust_method, now=now
+        )
+
+    def observe_outcome(self, record: InteractionRecord) -> None:
+        """Feed an interaction outcome back into the peer's reputation state."""
+        self.reputation.record_interaction(record)
+
+    def maybe_file_false_complaint(
+        self, partner_id: str, rng: random.Random, timestamp: float = 0.0
+    ) -> bool:
+        """Possibly pollute the complaint store after an honest interaction.
+
+        Returns ``True`` when a spurious complaint was filed.  The
+        probability comes from the peer's behaviour model; honest peers never
+        do this.
+        """
+        probability = self.behavior.false_complaint_probability
+        if probability <= 0.0 or partner_id == self.peer_id:
+            return False
+        if rng.random() >= probability:
+            return False
+        self.reputation.complaint_model.file_complaint(
+            complainant_id=self.peer_id, accused_id=partner_id, timestamp=timestamp
+        )
+        return True
+
+    @property
+    def true_honesty(self) -> float:
+        """Ground-truth honesty probability (for evaluating trust models)."""
+        return self.behavior.honesty_probability

@@ -1,0 +1,74 @@
+"""Trust learning: predicting partner behaviour from reputation evidence.
+
+Two concrete models are provided, matching the two references the paper
+points to for its assumed trust computation module:
+
+* :class:`~repro.trust.beta.BetaTrustModel` — the Bayesian (beta-Bernoulli)
+  model in the spirit of Mui et al. (HICSS 2002), and
+* :class:`~repro.trust.complaint.ComplaintTrustModel` — the complaint-based
+  P2P model of Aberer & Despotovic (CIKM 2001).
+"""
+
+from repro.trust.aggregation import (
+    WitnessReport,
+    combine_beta_evidence,
+    pessimistic_trust,
+    weighted_mean_trust,
+)
+from repro.trust.beta import BetaBelief, BetaTrustModel
+from repro.trust.complaint import (
+    ComplaintAssessment,
+    ComplaintCounts,
+    ComplaintStore,
+    ComplaintTrustModel,
+    LocalComplaintStore,
+    aggregate_witness_reports,
+)
+from repro.trust.decay import DecayModel, ExponentialDecay, NoDecay, SlidingWindowDecay
+from repro.trust.evidence import (
+    Complaint,
+    EvidenceLog,
+    InteractionOutcome,
+    Observation,
+)
+from repro.trust.metrics import (
+    ClassificationReport,
+    brier_score,
+    classification_report,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+
+__all__ = [
+    # evidence
+    "InteractionOutcome",
+    "Observation",
+    "Complaint",
+    "EvidenceLog",
+    # decay
+    "DecayModel",
+    "NoDecay",
+    "ExponentialDecay",
+    "SlidingWindowDecay",
+    # beta model
+    "BetaBelief",
+    "BetaTrustModel",
+    # complaint model
+    "ComplaintCounts",
+    "ComplaintAssessment",
+    "ComplaintStore",
+    "LocalComplaintStore",
+    "aggregate_witness_reports",
+    "ComplaintTrustModel",
+    # aggregation
+    "WitnessReport",
+    "combine_beta_evidence",
+    "weighted_mean_trust",
+    "pessimistic_trust",
+    # metrics
+    "mean_absolute_error",
+    "root_mean_squared_error",
+    "brier_score",
+    "ClassificationReport",
+    "classification_report",
+]

@@ -1,0 +1,93 @@
+"""Aggregation of direct and second-hand trust evidence.
+
+First-hand observations are scarce in open communities: most prospective
+partners are strangers.  Reputation reporting therefore supplies second-hand
+evidence (witness reports), which must be *discounted* by the trust placed in
+the witnesses themselves before it is merged with first-hand beliefs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.exceptions import TrustModelError
+from repro.trust.beta import BetaBelief
+
+__all__ = [
+    "WitnessReport",
+    "combine_beta_evidence",
+    "weighted_mean_trust",
+    "pessimistic_trust",
+]
+
+
+@dataclass(frozen=True)
+class WitnessReport:
+    """A witness's belief about a subject, with the trust put in the witness."""
+
+    witness_id: str
+    belief: BetaBelief
+    witness_trust: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.witness_trust <= 1.0:
+            raise TrustModelError(
+                f"witness_trust must lie in [0, 1], got {self.witness_trust}"
+            )
+
+
+def combine_beta_evidence(
+    direct: BetaBelief, reports: Iterable[WitnessReport]
+) -> BetaBelief:
+    """Merge witness reports into a first-hand belief with discounting.
+
+    Each report's evidence counts (its pseudo-counts beyond the uniform
+    prior) are scaled by the trust put in the witness and added to the direct
+    belief.  A witness that is not trusted at all therefore contributes
+    nothing; a fully trusted witness contributes as if its observations were
+    first-hand.
+    """
+    combined = direct
+    for report in reports:
+        combined = combined.merged(report.belief, discount=report.witness_trust)
+    return combined
+
+
+def weighted_mean_trust(
+    estimates: Sequence[Tuple[float, float]]
+) -> float:
+    """Weighted mean of ``(trust_estimate, weight)`` pairs.
+
+    Raises when no estimate carries positive weight.
+    """
+    total_weight = 0.0
+    weighted_sum = 0.0
+    for estimate, weight in estimates:
+        if not 0.0 <= estimate <= 1.0:
+            raise TrustModelError(f"trust estimate must lie in [0, 1], got {estimate}")
+        if weight < 0:
+            raise TrustModelError(f"weights must be non-negative, got {weight}")
+        total_weight += weight
+        weighted_sum += estimate * weight
+    if total_weight <= 0:
+        raise TrustModelError("at least one estimate with positive weight is required")
+    return weighted_sum / total_weight
+
+
+def pessimistic_trust(
+    direct: Optional[float], indirect: Optional[float]
+) -> float:
+    """Combine direct and indirect trust pessimistically (minimum).
+
+    A conservative rule used by the safe-only baselines: trust a partner only
+    as much as the most pessimistic available source suggests.  When neither
+    source is available the neutral value ``0.5`` is returned.
+    """
+    candidates = [value for value in (direct, indirect) if value is not None]
+    for value in candidates:
+        if not 0.0 <= value <= 1.0:
+            raise TrustModelError(f"trust values must lie in [0, 1], got {value}")
+    if not candidates:
+        return 0.5
+    return min(candidates)

@@ -1,0 +1,292 @@
+"""Complaint-based trust model (Aberer & Despotovic, CIKM 2001).
+
+The paper cites this model as "a practical approach that can be used in P2P
+environments".  Its evidence unit is purely negative: after a bad
+interaction, a peer files a *complaint* about its partner.  Complaints are
+stored decentrally (in this reproduction either in a local store or in the
+P-Grid substrate of :mod:`repro.pgrid` via :mod:`repro.reputation`), and the
+trust assessment of an agent ``q`` combines
+
+* ``cr(q)`` — the number of complaints *about* ``q``, and
+* ``cf(q)`` — the number of complaints *filed by* ``q``
+
+into the decision metric ``T(q) = cr(q) * cf(q)``.  The product captures the
+observation that malicious peers both cheat (attracting complaints) and file
+false complaints to discredit honest peers.  An agent is judged trustworthy
+when its metric does not exceed a configurable factor of the community's
+median metric.
+
+Because the original decision is binary but the trust-aware planner needs a
+probability estimate, :meth:`ComplaintTrustModel.trust` additionally maps the
+metric to ``[0, 1]`` with an exponential decay around the community
+reference level (documented, pragmatic choice).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.exceptions import TrustModelError
+from repro.trust.evidence import Complaint
+
+__all__ = [
+    "ComplaintCounts",
+    "ComplaintAssessment",
+    "ComplaintStore",
+    "LocalComplaintStore",
+    "aggregate_witness_reports",
+    "ComplaintTrustModel",
+]
+
+
+@dataclass(frozen=True)
+class ComplaintCounts:
+    """Complaint statistics about one agent."""
+
+    received: int
+    filed: int
+
+    def __post_init__(self) -> None:
+        if self.received < 0 or self.filed < 0:
+            raise TrustModelError("complaint counts must be non-negative")
+
+    @property
+    def metric(self) -> float:
+        """The Aberer–Despotovic decision metric ``cr * cf``."""
+        return float(self.received * self.filed)
+
+
+@dataclass(frozen=True)
+class ComplaintAssessment:
+    """Result of assessing one agent with the complaint-based model."""
+
+    agent_id: str
+    counts: ComplaintCounts
+    metric: float
+    reference_metric: float
+    trustworthy: bool
+    trust: float
+
+
+class ComplaintStore(Protocol):
+    """Where complaints live; implemented locally and on top of P-Grid."""
+
+    def file_complaint(self, complaint: Complaint) -> None:
+        """Persist a complaint."""
+
+    def complaints_about(self, agent_id: str) -> Sequence[Complaint]:
+        """All complaints whose accused is ``agent_id``."""
+
+    def complaints_by(self, agent_id: str) -> Sequence[Complaint]:
+        """All complaints filed by ``agent_id``."""
+
+    def known_agents(self) -> Sequence[str]:
+        """Agents appearing in the store (as accused or complainant)."""
+
+
+class LocalComplaintStore:
+    """In-memory complaint store (single authority, no replication)."""
+
+    def __init__(self) -> None:
+        self._complaints: List[Complaint] = []
+
+    def file_complaint(self, complaint: Complaint) -> None:
+        self._complaints.append(complaint)
+
+    def complaints_about(self, agent_id: str) -> Sequence[Complaint]:
+        return [c for c in self._complaints if c.accused_id == agent_id]
+
+    def complaints_by(self, agent_id: str) -> Sequence[Complaint]:
+        return [c for c in self._complaints if c.complainant_id == agent_id]
+
+    def known_agents(self) -> Sequence[str]:
+        agents: List[str] = []
+        for complaint in self._complaints:
+            for agent_id in (complaint.accused_id, complaint.complainant_id):
+                if agent_id not in agents:
+                    agents.append(agent_id)
+        return agents
+
+    def __len__(self) -> int:
+        return len(self._complaints)
+
+
+def aggregate_witness_reports(
+    reports: Sequence[Tuple[int, int]]
+) -> ComplaintCounts:
+    """Combine complaint-count reports from several (possibly lying) witnesses.
+
+    Uses the element-wise median, which tolerates a minority of forged
+    reports — the robustness argument of the original P-Grid based scheme,
+    where the same complaint data is replicated on several peers.
+    """
+    if not reports:
+        raise TrustModelError("at least one witness report is required")
+    received = int(round(statistics.median(report[0] for report in reports)))
+    filed = int(round(statistics.median(report[1] for report in reports)))
+    return ComplaintCounts(received=received, filed=filed)
+
+
+class ComplaintTrustModel:
+    """Trust assessment from complaint data.
+
+    Parameters
+    ----------
+    store:
+        Where complaints are read from and written to.
+    tolerance_factor:
+        An agent is judged *untrustworthy* when its metric exceeds
+        ``tolerance_factor`` times the community reference (median) metric —
+        and, when the community has no complaints at all, when it has any
+        complaints against it.
+    trust_scale:
+        Scale of the exponential mapping from metric to the ``[0, 1]`` trust
+        value handed to the decision module.  The default of ``3`` places an
+        agent whose metric equals the community median at roughly ``0.72``
+        and an agent at four times the median at roughly ``0.26``.
+    """
+
+    #: Supported decision metrics: the faithful Aberer–Despotovic product
+    #: ``cr * cf``, the plain count of complaints received, or the balanced
+    #: form ``cr * (1 + cf)`` that still penalises agents which cheat but
+    #: never file complaints themselves.
+    METRIC_MODES = ("product", "received", "balanced")
+
+    def __init__(
+        self,
+        store: Optional[ComplaintStore] = None,
+        tolerance_factor: float = 4.0,
+        trust_scale: float = 3.0,
+        metric_mode: str = "product",
+    ):
+        if tolerance_factor <= 0:
+            raise TrustModelError(
+                f"tolerance_factor must be > 0, got {tolerance_factor}"
+            )
+        if trust_scale <= 0:
+            raise TrustModelError(f"trust_scale must be > 0, got {trust_scale}")
+        if metric_mode not in self.METRIC_MODES:
+            raise TrustModelError(
+                f"metric_mode must be one of {self.METRIC_MODES}, got {metric_mode!r}"
+            )
+        self._store: ComplaintStore = store if store is not None else LocalComplaintStore()
+        self._tolerance_factor = tolerance_factor
+        self._trust_scale = trust_scale
+        self._metric_mode = metric_mode
+
+    @property
+    def store(self) -> ComplaintStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+    # Evidence intake
+    # ------------------------------------------------------------------
+    def file_complaint(
+        self, complainant_id: str, accused_id: str, timestamp: float = 0.0
+    ) -> Complaint:
+        """File (and persist) a complaint; returns the complaint object."""
+        complaint = Complaint(
+            complainant_id=complainant_id, accused_id=accused_id, timestamp=timestamp
+        )
+        self._store.file_complaint(complaint)
+        return complaint
+
+    # ------------------------------------------------------------------
+    # Assessment
+    # ------------------------------------------------------------------
+    def counts(self, agent_id: str) -> ComplaintCounts:
+        return ComplaintCounts(
+            received=len(self._store.complaints_about(agent_id)),
+            filed=len(self._store.complaints_by(agent_id)),
+        )
+
+    def metric(self, counts: ComplaintCounts) -> float:
+        """Decision metric of the configured ``metric_mode`` for given counts."""
+        if self._metric_mode == "product":
+            return float(counts.received * counts.filed)
+        if self._metric_mode == "received":
+            return float(counts.received)
+        return float(counts.received * (1 + counts.filed))
+
+    def reference_metric(self) -> float:
+        """The community's median complaint metric (0 when no data)."""
+        agents = list(self._store.known_agents())
+        if not agents:
+            return 0.0
+        metrics = [self.metric(self.counts(agent_id)) for agent_id in agents]
+        return float(statistics.median(metrics))
+
+    def assess(self, agent_id: str) -> ComplaintAssessment:
+        """Full assessment of one agent (counts, decision and trust value)."""
+        counts = self.counts(agent_id)
+        reference = self.reference_metric()
+        metric = self.metric(counts)
+        trustworthy = self._decide(metric, reference)
+        trust = self._metric_to_trust(metric, reference)
+        return ComplaintAssessment(
+            agent_id=agent_id,
+            counts=counts,
+            metric=metric,
+            reference_metric=reference,
+            trustworthy=trustworthy,
+            trust=trust,
+        )
+
+    def _decide(self, metric: float, reference: float) -> bool:
+        """Decision rule: compare against the community reference.
+
+        When the community has no meaningful reference yet (median metric of
+        zero) the rule falls back to an absolute threshold of
+        ``tolerance_factor`` on the raw metric, so a single isolated
+        complaint does not condemn an otherwise unknown agent.
+        """
+        if reference > 0:
+            return metric <= self._tolerance_factor * reference
+        return metric <= self._tolerance_factor
+
+    def trust(self, agent_id: str) -> float:
+        """Trust value in ``[0, 1]`` derived from the complaint metric."""
+        return self.assess(agent_id).trust
+
+    def is_trustworthy(self, agent_id: str) -> bool:
+        return self.assess(agent_id).trustworthy
+
+    def assess_from_reports(
+        self, agent_id: str, reports: Sequence[Tuple[int, int]]
+    ) -> ComplaintAssessment:
+        """Assess an agent from witness reports instead of the local store.
+
+        Used when complaint data is fetched from replicated remote storage
+        (some replicas may misreport); the reports are combined with
+        :func:`aggregate_witness_reports` before the usual decision rule is
+        applied against the local community reference.
+        """
+        counts = aggregate_witness_reports(reports)
+        reference = self.reference_metric()
+        metric = self.metric(counts)
+        trustworthy = self._decide(metric, reference)
+        trust = self._metric_to_trust(metric, reference)
+        return ComplaintAssessment(
+            agent_id=agent_id,
+            counts=counts,
+            metric=metric,
+            reference_metric=reference,
+            trustworthy=trustworthy,
+            trust=trust,
+        )
+
+    def trust_snapshot(self) -> Dict[str, float]:
+        """Trust values for every agent known to the store."""
+        return {
+            agent_id: self.trust(agent_id) for agent_id in self._store.known_agents()
+        }
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _metric_to_trust(self, metric: float, reference: float) -> float:
+        scale = self._trust_scale * max(1.0, reference)
+        return math.exp(-metric / scale)

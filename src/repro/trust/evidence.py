@@ -1,0 +1,163 @@
+"""Evidence about past behaviour: observations and complaints.
+
+Trust learning consumes two kinds of first-hand evidence produced by the
+reputation management layer:
+
+* :class:`Observation` — a graded record of one interaction ("peer ``q``
+  behaved honestly / dishonestly towards me at time ``t``"), used by the
+  Bayesian (beta) trust model of Mui et al. (2002), and
+* :class:`Complaint` — the purely negative evidence unit of the
+  complaint-based model of Aberer & Despotovic (CIKM 2001): a peer files a
+  complaint about a partner after a bad interaction, and the *absence* of
+  complaints is interpreted as good behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.exceptions import TrustModelError
+
+__all__ = ["InteractionOutcome", "Observation", "Complaint", "EvidenceLog"]
+
+
+class InteractionOutcome(enum.Enum):
+    """Binary judgement of a partner's behaviour in one interaction."""
+
+    HONEST = "honest"
+    DISHONEST = "dishonest"
+
+    @property
+    def is_honest(self) -> bool:
+        return self is InteractionOutcome.HONEST
+
+
+@dataclass(frozen=True)
+class Observation:
+    """A first-hand observation of a partner's behaviour.
+
+    Attributes
+    ----------
+    observer_id:
+        Peer that made the observation.
+    subject_id:
+        Peer whose behaviour was observed.
+    outcome:
+        Whether the subject behaved honestly.
+    timestamp:
+        Simulation time of the interaction (used for evidence decay).
+    weight:
+        Importance of the observation, e.g. the monetary value at stake.
+    """
+
+    observer_id: str
+    subject_id: str
+    outcome: InteractionOutcome
+    timestamp: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.observer_id or not self.subject_id:
+            raise TrustModelError("observer_id and subject_id must be non-empty")
+        if self.weight <= 0:
+            raise TrustModelError(f"weight must be positive, got {self.weight}")
+
+    @property
+    def is_honest(self) -> bool:
+        return self.outcome.is_honest
+
+    @classmethod
+    def honest(
+        cls, observer_id: str, subject_id: str, timestamp: float = 0.0, weight: float = 1.0
+    ) -> "Observation":
+        return cls(observer_id, subject_id, InteractionOutcome.HONEST, timestamp, weight)
+
+    @classmethod
+    def dishonest(
+        cls, observer_id: str, subject_id: str, timestamp: float = 0.0, weight: float = 1.0
+    ) -> "Observation":
+        return cls(
+            observer_id, subject_id, InteractionOutcome.DISHONEST, timestamp, weight
+        )
+
+
+@dataclass(frozen=True)
+class Complaint:
+    """A complaint filed by one peer about another (negative evidence only)."""
+
+    complainant_id: str
+    accused_id: str
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.complainant_id or not self.accused_id:
+            raise TrustModelError("complainant_id and accused_id must be non-empty")
+        if self.complainant_id == self.accused_id:
+            raise TrustModelError("a peer cannot file a complaint about itself")
+
+
+class EvidenceLog:
+    """Append-only, queryable log of observations held by one peer."""
+
+    def __init__(self) -> None:
+        self._observations: List[Observation] = []
+
+    def record(self, observation: Observation) -> None:
+        """Append an observation to the log."""
+        self._observations.append(observation)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self):
+        return iter(self._observations)
+
+    def about(self, subject_id: str) -> Tuple[Observation, ...]:
+        """All observations about the given subject, oldest first."""
+        return tuple(
+            observation
+            for observation in self._observations
+            if observation.subject_id == subject_id
+        )
+
+    def by(self, observer_id: str) -> Tuple[Observation, ...]:
+        """All observations made by the given observer, oldest first."""
+        return tuple(
+            observation
+            for observation in self._observations
+            if observation.observer_id == observer_id
+        )
+
+    def subjects(self) -> Tuple[str, ...]:
+        """Distinct subjects appearing in the log, in first-seen order."""
+        seen: List[str] = []
+        for observation in self._observations:
+            if observation.subject_id not in seen:
+                seen.append(observation.subject_id)
+        return tuple(seen)
+
+    def counts(self, subject_id: str) -> Tuple[int, int]:
+        """Return ``(honest, dishonest)`` observation counts for a subject."""
+        honest = 0
+        dishonest = 0
+        for observation in self.about(subject_id):
+            if observation.is_honest:
+                honest += 1
+            else:
+                dishonest += 1
+        return honest, dishonest
+
+    def since(self, timestamp: float) -> Tuple[Observation, ...]:
+        """Observations with ``timestamp`` greater than or equal to the bound."""
+        return tuple(
+            observation
+            for observation in self._observations
+            if observation.timestamp >= timestamp
+        )
+
+    def extend(self, observations: Iterable[Observation]) -> None:
+        """Append many observations at once."""
+        for observation in observations:
+            self.record(observation)

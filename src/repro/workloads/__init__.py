@@ -1,0 +1,33 @@
+"""Workload generators: valuations, populations and named scenarios."""
+
+from repro.workloads.populations import (
+    PopulationSpec,
+    build_population,
+    honesty_map,
+    population_factory,
+)
+from repro.workloads.scenarios import SCENARIO_NAMES, ScenarioSpec, build_scenario
+from repro.workloads.valuations import (
+    digital_goods_valuations,
+    ebay_auction_valuations,
+    stress_deficit_valuations,
+    teamwork_service_valuations,
+    valuation_workload,
+    workload_bundle,
+)
+
+__all__ = [
+    "ebay_auction_valuations",
+    "digital_goods_valuations",
+    "teamwork_service_valuations",
+    "stress_deficit_valuations",
+    "valuation_workload",
+    "workload_bundle",
+    "PopulationSpec",
+    "build_population",
+    "population_factory",
+    "honesty_map",
+    "ScenarioSpec",
+    "build_scenario",
+    "SCENARIO_NAMES",
+]

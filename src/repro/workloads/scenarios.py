@@ -1,0 +1,122 @@
+"""Named end-to-end scenarios: ready-to-run community simulations.
+
+Each scenario corresponds to one of the application settings the paper's
+introduction motivates and wires together a valuation workload, a population
+composition and a community configuration.  The exchange strategy is left as
+a parameter so the same scenario can be run with the trust-aware approach and
+with every baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import WorkloadError
+from repro.marketplace.strategy import ExchangeStrategy, TrustAwareStrategy
+from repro.simulation.community import CommunityConfig, CommunitySimulation
+from repro.simulation.peer import CommunityPeer
+from repro.trust.complaint import ComplaintStore, LocalComplaintStore
+from repro.workloads.populations import PopulationSpec, build_population
+from repro.workloads.valuations import valuation_workload
+
+__all__ = ["ScenarioSpec", "build_scenario", "SCENARIO_NAMES"]
+
+SCENARIO_NAMES = ("ebay", "p2p-file-trading", "teamwork")
+
+
+@dataclass
+class ScenarioSpec:
+    """Fully resolved scenario: peers plus configuration."""
+
+    name: str
+    peers: List[CommunityPeer]
+    config: CommunityConfig
+    complaint_store: ComplaintStore
+
+    def simulation(self, strategy: Optional[ExchangeStrategy] = None) -> CommunitySimulation:
+        """A community simulation of this scenario with the given strategy."""
+        chosen = strategy if strategy is not None else TrustAwareStrategy()
+        return CommunitySimulation(self.peers, chosen, self.config)
+
+
+def build_scenario(
+    name: str,
+    size: int = 20,
+    rounds: int = 40,
+    dishonest_fraction: float = 0.2,
+    defection_penalty: float = 0.0,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Construct one of the named scenarios.
+
+    ``ebay`` — physical goods with big-ticket items, random discovery;
+    ``p2p-file-trading`` — digital goods, cheap to produce, trust-weighted
+    discovery; ``teamwork`` — services with weakly correlated valuations and
+    a reputation continuation value (ongoing collaborations).
+    """
+    if name not in SCENARIO_NAMES:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; valid names: {SCENARIO_NAMES}"
+        )
+    shared_store = LocalComplaintStore()
+    if name == "ebay":
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.7 - dishonest_fraction / 2),
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=max(0.0, 0.3 - dishonest_fraction / 2),
+            false_complaint_probability=0.3,
+            defection_penalty=defection_penalty,
+            id_prefix="ebay",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=5,
+            valuation_model=valuation_workload("ebay"),
+            matching="random",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+    elif name == "p2p-file-trading":
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=0.6,
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=max(0.0, 0.4 - dishonest_fraction),
+            probabilistic_honesty=0.9,
+            false_complaint_probability=0.5,
+            defection_penalty=defection_penalty,
+            id_prefix="p2p",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=8,
+            valuation_model=valuation_workload("digital"),
+            matching="trust",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+    else:  # teamwork
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.85 - dishonest_fraction),
+            dishonest_fraction=dishonest_fraction,
+            opportunist_fraction=0.15,
+            probabilistic_fraction=0.0,
+            opportunist_threshold=8.0,
+            defection_penalty=max(defection_penalty, 2.0),
+            id_prefix="team",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=4,
+            valuation_model=valuation_workload("teamwork"),
+            matching="trust",
+            defection_penalty=max(defection_penalty, 2.0),
+            seed=seed,
+        )
+    peers = build_population(spec, complaint_store=shared_store, seed=seed)
+    return ScenarioSpec(
+        name=name, peers=peers, config=config, complaint_store=shared_store
+    )

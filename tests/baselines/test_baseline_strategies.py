@@ -1,0 +1,164 @@
+"""Unit tests for the baseline exchange strategies."""
+
+import pytest
+
+from repro.baselines import (
+    AlternatingStrategy,
+    FixedExposureStrategy,
+    GoodsFirstStrategy,
+    OptimisticStrategy,
+    PaymentFirstStrategy,
+    SafeOnlyStrategy,
+)
+from repro.core.exchange import ActionKind
+from repro.core.goods import Good, GoodsBundle
+from repro.core.safety import ExchangeRequirements, verify_sequence
+from repro.exceptions import MarketplaceError
+from repro.marketplace.strategy import StrategyContext
+
+
+@pytest.fixture
+def bundle():
+    return GoodsBundle(
+        [
+            Good(good_id="a", supplier_cost=2.0, consumer_value=4.0),
+            Good(good_id="b", supplier_cost=3.0, consumer_value=6.0),
+            Good(good_id="c", supplier_cost=1.0, consumer_value=1.5),
+        ]
+    )
+
+
+@pytest.fixture
+def context():
+    return StrategyContext()
+
+
+class TestGoodsFirst:
+    def test_structure(self, bundle, context):
+        sequence = GoodsFirstStrategy().plan(bundle, 8.0, context)
+        kinds = [action.kind for action in sequence]
+        assert kinds[:3] == [ActionKind.DELIVER] * 3
+        assert kinds[-1] is ActionKind.PAY
+        assert sum(sequence.payments) == pytest.approx(8.0)
+
+    def test_supplier_carries_all_exposure(self, bundle, context):
+        sequence = GoodsFirstStrategy().plan(bundle, 8.0, context)
+        assert sequence.max_consumer_temptation == pytest.approx(8.0)
+        assert sequence.max_supplier_temptation <= 0.0 + 1e-9
+
+    def test_zero_price(self, bundle, context):
+        sequence = GoodsFirstStrategy().plan(bundle, 0.0, context)
+        assert sequence is not None
+        assert sequence.num_payments == 0
+
+
+class TestPaymentFirst:
+    def test_structure(self, bundle, context):
+        sequence = PaymentFirstStrategy().plan(bundle, 8.0, context)
+        assert sequence.actions[0].kind is ActionKind.PAY
+        assert sequence.num_deliveries == 3
+
+    def test_consumer_carries_all_exposure(self, bundle, context):
+        sequence = PaymentFirstStrategy().plan(bundle, 8.0, context)
+        assert sequence.max_supplier_temptation == pytest.approx(6.0)
+        assert sequence.max_consumer_temptation <= 0.0 + 1e-9
+
+
+class TestAlternating:
+    def test_interleaves_and_sums(self, bundle, context):
+        sequence = AlternatingStrategy().plan(bundle, 8.0, context)
+        assert sequence.num_deliveries == 3
+        assert sum(sequence.payments) == pytest.approx(8.0)
+        # Exposure of each side is bounded by roughly one item's worth.
+        assert sequence.max_consumer_temptation < 8.0
+        assert sequence.max_supplier_temptation < 6.0
+
+    def test_pay_before_delivery_variant(self, bundle, context):
+        strategy = AlternatingStrategy(pay_before_delivery=True)
+        sequence = strategy.plan(bundle, 8.0, context)
+        assert sequence.actions[0].kind is ActionKind.PAY
+        assert sum(sequence.payments) == pytest.approx(8.0)
+        assert "pay-then-deliver" in strategy.describe()
+
+    def test_single_item_bundle(self, context):
+        bundle = GoodsBundle([Good(good_id="x", supplier_cost=1.0, consumer_value=3.0)])
+        sequence = AlternatingStrategy().plan(bundle, 2.0, context)
+        assert sequence is not None
+        assert sum(sequence.payments) == pytest.approx(2.0)
+
+
+class TestSafeOnly:
+    def test_declines_unsafe_bundle(self, bundle, context):
+        big = GoodsBundle([Good(good_id="x", supplier_cost=6.0, consumer_value=12.0)])
+        assert SafeOnlyStrategy().plan(big, 9.0, context) is None
+
+    def test_uses_reputation_continuation(self, bundle):
+        context = StrategyContext(
+            supplier_defection_penalty=6.0, consumer_defection_penalty=6.0
+        )
+        big = GoodsBundle([Good(good_id="x", supplier_cost=6.0, consumer_value=12.0)])
+        sequence = SafeOnlyStrategy().plan(big, 9.0, context)
+        assert sequence is not None
+        requirements = ExchangeRequirements.with_reputation(6.0, 6.0)
+        assert verify_sequence(sequence, requirements).safe
+
+    def test_isolated_mode_ignores_penalties(self, bundle):
+        context = StrategyContext(
+            supplier_defection_penalty=6.0, consumer_defection_penalty=6.0
+        )
+        big = GoodsBundle([Good(good_id="x", supplier_cost=6.0, consumer_value=12.0)])
+        strategy = SafeOnlyStrategy(use_reputation_continuation=False)
+        assert strategy.plan(big, 9.0, context) is None
+        assert "isolated" in strategy.describe()
+
+    def test_plans_are_fully_safe(self, bundle, context):
+        # Bundle of small surplus items priced at cost: schedulable fully safely.
+        cheap = GoodsBundle.from_valuations([0.0, 0.0], [1.0, 1.0])
+        sequence = SafeOnlyStrategy().plan(cheap, 0.0, context)
+        assert sequence is not None
+        assert verify_sequence(sequence, ExchangeRequirements.fully_safe()).safe
+
+
+class TestFixedExposure:
+    def test_same_plan_regardless_of_trust(self, bundle):
+        strategy = FixedExposureStrategy(exposure=10.0)
+        trusting = StrategyContext(
+            supplier_trust_in_consumer=0.99, consumer_trust_in_supplier=0.99
+        )
+        distrusting = StrategyContext(
+            supplier_trust_in_consumer=0.01, consumer_trust_in_supplier=0.01
+        )
+        plan_a = strategy.plan(bundle, 8.0, trusting)
+        plan_b = strategy.plan(bundle, 8.0, distrusting)
+        assert plan_a is not None and plan_b is not None
+        assert plan_a.delivery_order == plan_b.delivery_order
+
+    def test_respects_exposure_bound(self, bundle, context):
+        strategy = FixedExposureStrategy(exposure=4.0)
+        sequence = strategy.plan(bundle, 8.0, context)
+        assert sequence is not None
+        assert sequence.max_supplier_temptation <= 4.0 + 1e-9
+        assert sequence.max_consumer_temptation <= 4.0 + 1e-9
+
+    def test_declines_when_exposure_insufficient(self, context):
+        big = GoodsBundle([Good(good_id="x", supplier_cost=20.0, consumer_value=30.0)])
+        assert FixedExposureStrategy(exposure=5.0).plan(big, 25.0, context) is None
+
+    def test_negative_exposure_rejected(self):
+        with pytest.raises(MarketplaceError):
+            FixedExposureStrategy(exposure=-1.0)
+
+
+class TestOptimistic:
+    def test_always_schedules_rational_trades(self, bundle, context):
+        assert OptimisticStrategy().plan(bundle, 8.0, context) is not None
+        big = GoodsBundle([Good(good_id="x", supplier_cost=50.0, consumer_value=80.0)])
+        assert OptimisticStrategy().plan(big, 60.0, context) is not None
+
+    def test_accepts_even_irrational_prices_with_huge_exposure(self, context):
+        # The optimistic strategy does not protect anyone: it schedules even
+        # a price the consumer can never recoup, leaving it hugely exposed.
+        big = GoodsBundle([Good(good_id="x", supplier_cost=1.0, consumer_value=2.0)])
+        sequence = OptimisticStrategy().plan(big, 1000.0, context)
+        assert sequence is not None
+        assert sequence.max_consumer_temptation >= 900.0

@@ -1,0 +1,251 @@
+"""Unit tests for exchange actions, states and sequences."""
+
+import pytest
+
+from repro.core.exchange import (
+    ActionKind,
+    ExchangeAction,
+    ExchangeSequence,
+    ExchangeState,
+    Role,
+)
+from repro.core.goods import Good, GoodsBundle
+from repro.exceptions import InvalidActionError, InvalidSequenceError
+
+
+@pytest.fixture
+def bundle():
+    return GoodsBundle(
+        [
+            Good(good_id="a", supplier_cost=2.0, consumer_value=4.0),
+            Good(good_id="b", supplier_cost=3.0, consumer_value=6.0),
+        ]
+    )
+
+
+class TestExchangeAction:
+    def test_deliver_from_good(self, bundle):
+        action = ExchangeAction.deliver(bundle["a"])
+        assert action.kind is ActionKind.DELIVER
+        assert action.good_id == "a"
+        assert action.actor is Role.SUPPLIER
+
+    def test_deliver_from_id(self):
+        action = ExchangeAction.deliver("x")
+        assert action.good_id == "x"
+
+    def test_pay(self):
+        action = ExchangeAction.pay(3.5)
+        assert action.kind is ActionKind.PAY
+        assert action.amount == pytest.approx(3.5)
+        assert action.actor is Role.CONSUMER
+
+    def test_pay_nonpositive_rejected(self):
+        with pytest.raises(InvalidActionError):
+            ExchangeAction.pay(0.0)
+        with pytest.raises(InvalidActionError):
+            ExchangeAction.pay(-1.0)
+
+    def test_deliver_requires_good_id(self):
+        with pytest.raises(InvalidActionError):
+            ExchangeAction(kind=ActionKind.DELIVER)
+
+    def test_pay_must_not_have_good_id(self):
+        with pytest.raises(InvalidActionError):
+            ExchangeAction(kind=ActionKind.PAY, good_id="a", amount=1.0)
+
+    def test_describe(self):
+        assert "delivers a" in ExchangeAction.deliver("a").describe()
+        assert "pays" in ExchangeAction.pay(2.0).describe()
+
+
+class TestExchangeState:
+    def test_initial_state(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        assert state.remaining_payment == pytest.approx(8.0)
+        assert state.remaining_supplier_cost == pytest.approx(5.0)
+        assert state.remaining_consumer_value == pytest.approx(10.0)
+        assert state.supplier_temptation == pytest.approx(-3.0)
+        assert state.consumer_temptation == pytest.approx(-2.0)
+        assert not state.is_complete
+
+    def test_negative_price_rejected(self, bundle):
+        with pytest.raises(InvalidActionError):
+            ExchangeState.initial(bundle, price=-1.0)
+
+    def test_apply_delivery(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        new_state = state.apply(ExchangeAction.deliver("a"))
+        assert "a" in new_state.delivered_ids
+        assert new_state.remaining_supplier_cost == pytest.approx(3.0)
+        assert new_state.remaining_consumer_value == pytest.approx(6.0)
+        # Original state is unchanged (immutability).
+        assert "a" not in state.delivered_ids
+
+    def test_apply_payment(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        new_state = state.apply(ExchangeAction.pay(3.0))
+        assert new_state.paid == pytest.approx(3.0)
+        assert new_state.remaining_payment == pytest.approx(5.0)
+
+    def test_double_delivery_rejected(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0).apply(
+            ExchangeAction.deliver("a")
+        )
+        with pytest.raises(InvalidActionError):
+            state.apply(ExchangeAction.deliver("a"))
+
+    def test_unknown_good_rejected(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        with pytest.raises(InvalidActionError):
+            state.apply(ExchangeAction.deliver("zzz"))
+
+    def test_overpayment_rejected(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        with pytest.raises(InvalidActionError):
+            state.apply(ExchangeAction.pay(9.0))
+
+    def test_utilities(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        state = state.apply(ExchangeAction.pay(5.0))
+        state = state.apply(ExchangeAction.deliver("a"))
+        # Supplier received 5, spent 2 producing "a".
+        assert state.supplier_utility == pytest.approx(3.0)
+        # Consumer received value 4, paid 5.
+        assert state.consumer_utility == pytest.approx(-1.0)
+        assert state.utility_of(Role.SUPPLIER) == pytest.approx(3.0)
+        assert state.utility_of(Role.CONSUMER) == pytest.approx(-1.0)
+
+    def test_temptation_of(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        assert state.temptation_of(Role.SUPPLIER) == pytest.approx(
+            state.supplier_temptation
+        )
+        assert state.temptation_of(Role.CONSUMER) == pytest.approx(
+            state.consumer_temptation
+        )
+
+    def test_completion(self, bundle):
+        state = ExchangeState.initial(bundle, price=8.0)
+        state = state.apply(ExchangeAction.pay(8.0))
+        state = state.apply(ExchangeAction.deliver("a"))
+        state = state.apply(ExchangeAction.deliver("b"))
+        assert state.is_complete
+        assert state.supplier_temptation == pytest.approx(0.0)
+        assert state.consumer_temptation == pytest.approx(0.0)
+
+    def test_role_other(self):
+        assert Role.SUPPLIER.other is Role.CONSUMER
+        assert Role.CONSUMER.other is Role.SUPPLIER
+
+
+class TestExchangeSequence:
+    def test_valid_sequence(self, bundle):
+        sequence = ExchangeSequence(
+            bundle,
+            price=8.0,
+            actions=[
+                ExchangeAction.pay(4.0),
+                ExchangeAction.deliver("a"),
+                ExchangeAction.pay(4.0),
+                ExchangeAction.deliver("b"),
+            ],
+        )
+        assert len(sequence) == 4
+        assert sequence.delivery_order == ("a", "b")
+        assert sequence.payments == (4.0, 4.0)
+        assert sequence.num_deliveries == 2
+        assert sequence.num_payments == 2
+        assert sequence.final_state().is_complete
+
+    def test_states_iteration(self, bundle):
+        sequence = ExchangeSequence(
+            bundle,
+            price=8.0,
+            actions=[
+                ExchangeAction.pay(8.0),
+                ExchangeAction.deliver("a"),
+                ExchangeAction.deliver("b"),
+            ],
+        )
+        states = list(sequence.states())
+        assert len(states) == 4  # initial + one per action
+        assert states[0].paid == pytest.approx(0.0)
+        assert states[-1].is_complete
+
+    def test_max_temptations(self, bundle):
+        sequence = ExchangeSequence(
+            bundle,
+            price=8.0,
+            actions=[
+                ExchangeAction.pay(8.0),
+                ExchangeAction.deliver("a"),
+                ExchangeAction.deliver("b"),
+            ],
+        )
+        # After full pre-payment the supplier is maximally tempted: cost 5
+        # still to be delivered and nothing left to receive.
+        assert sequence.max_supplier_temptation == pytest.approx(5.0)
+        # The consumer is never tempted beyond the start of the exchange.
+        assert sequence.max_consumer_temptation <= 0.0
+
+    def test_missing_delivery_rejected(self, bundle):
+        with pytest.raises(InvalidSequenceError):
+            ExchangeSequence(
+                bundle,
+                price=8.0,
+                actions=[ExchangeAction.pay(8.0), ExchangeAction.deliver("a")],
+            )
+
+    def test_duplicate_delivery_rejected(self, bundle):
+        with pytest.raises(InvalidSequenceError):
+            ExchangeSequence(
+                bundle,
+                price=8.0,
+                actions=[
+                    ExchangeAction.pay(8.0),
+                    ExchangeAction.deliver("a"),
+                    ExchangeAction.deliver("a"),
+                    ExchangeAction.deliver("b"),
+                ],
+            )
+
+    def test_unknown_good_rejected(self, bundle):
+        with pytest.raises(InvalidSequenceError):
+            ExchangeSequence(
+                bundle,
+                price=8.0,
+                actions=[
+                    ExchangeAction.pay(8.0),
+                    ExchangeAction.deliver("zzz"),
+                    ExchangeAction.deliver("a"),
+                    ExchangeAction.deliver("b"),
+                ],
+            )
+
+    def test_payment_mismatch_rejected(self, bundle):
+        with pytest.raises(InvalidSequenceError):
+            ExchangeSequence(
+                bundle,
+                price=8.0,
+                actions=[
+                    ExchangeAction.pay(7.0),
+                    ExchangeAction.deliver("a"),
+                    ExchangeAction.deliver("b"),
+                ],
+            )
+
+    def test_describe_mentions_all_actions(self, bundle):
+        sequence = ExchangeSequence(
+            bundle,
+            price=8.0,
+            actions=[
+                ExchangeAction.pay(8.0),
+                ExchangeAction.deliver("a"),
+                ExchangeAction.deliver("b"),
+            ],
+        )
+        text = sequence.describe()
+        assert "delivers a" in text
+        assert "delivers b" in text
+        assert "pays" in text

@@ -1,0 +1,161 @@
+"""Unit tests for the game-theoretic extension (repeated exchange, exposure game)."""
+
+import pytest
+
+from repro.core.gametheory import (
+    EquilibriumResult,
+    ExposureGame,
+    continuation_value,
+    cooperation_discount_threshold,
+)
+from repro.core.goods import Good, GoodsBundle
+from repro.exceptions import DecisionError
+
+
+@pytest.fixture
+def bundle():
+    return GoodsBundle(
+        [
+            Good(good_id="a", supplier_cost=2.0, consumer_value=4.0),
+            Good(good_id="b", supplier_cost=3.0, consumer_value=6.0),
+        ]
+    )
+
+
+@pytest.fixture
+def single_item():
+    return GoodsBundle([Good(good_id="x", supplier_cost=5.0, consumer_value=10.0)])
+
+
+class TestContinuationValue:
+    def test_formula(self):
+        assert continuation_value(2.0, 0.5) == pytest.approx(2.0)
+        assert continuation_value(2.0, 0.9) == pytest.approx(18.0)
+        assert continuation_value(2.0, 0.0) == 0.0
+
+    def test_increasing_in_patience(self):
+        values = [continuation_value(1.0, delta) for delta in (0.1, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DecisionError):
+            continuation_value(-1.0, 0.5)
+        with pytest.raises(DecisionError):
+            continuation_value(1.0, 1.0)
+
+
+class TestCooperationThreshold:
+    def test_single_item_threshold(self, single_item):
+        # Per-round gains: supplier 2, consumer 3 at price 7.  Cooperation
+        # requires the consumer's continuation to cover the item cost (5):
+        # the binding side is the supplier temptation after prepayment...
+        threshold = cooperation_discount_threshold(single_item, 7.0)
+        assert threshold is not None
+        assert 0.0 < threshold < 1.0
+        # Sustainability is monotone in patience: a slightly larger delta works.
+        assert cooperation_discount_threshold(single_item, 7.0) <= threshold + 1e-3
+
+    def test_more_valuable_future_needed_for_harder_bundles(self):
+        easy = GoodsBundle([Good(good_id="x", supplier_cost=1.0, consumer_value=10.0)])
+        hard = GoodsBundle([Good(good_id="x", supplier_cost=8.0, consumer_value=10.0)])
+        easy_threshold = cooperation_discount_threshold(easy, 5.0)
+        hard_threshold = cooperation_discount_threshold(hard, 9.0)
+        assert easy_threshold is not None and hard_threshold is not None
+        assert hard_threshold > easy_threshold
+
+    def test_value_destroying_trade_unsustainable(self):
+        bundle = GoodsBundle([Good(good_id="x", supplier_cost=10.0, consumer_value=2.0)])
+        assert cooperation_discount_threshold(bundle, 5.0) is None
+
+    def test_zero_gain_side_can_still_cooperate_if_never_tempted(self, single_item):
+        # Price equal to the consumer's total value: the consumer gains
+        # nothing and therefore has no future to lose — but it is also never
+        # tempted (it owes exactly what it still expects to receive), so
+        # cooperation only needs the supplier's continuation value to cover
+        # the post-payment temptation.
+        threshold = cooperation_discount_threshold(single_item, 10.0)
+        assert threshold is not None
+        assert threshold == pytest.approx(0.5, abs=1e-3)
+
+    def test_price_outside_rational_range_unsustainable(self, single_item):
+        # A price above the consumer's total value (or below the supplier's
+        # total cost) means one side loses by trading at all: no patience
+        # level sustains it.
+        assert cooperation_discount_threshold(single_item, 11.0) is None
+        assert cooperation_discount_threshold(single_item, 4.0) is None
+
+    def test_zero_threshold_for_already_safe_exchange(self):
+        bundle = GoodsBundle.from_valuations([0.0, 0.0], [2.0, 2.0])
+        assert cooperation_discount_threshold(bundle, 2.0) == 0.0
+
+
+class TestExposureGame:
+    def test_payoffs_zero_when_not_schedulable(self, single_item):
+        game = ExposureGame(
+            single_item,
+            price=7.0,
+            supplier_trust_in_consumer=0.9,
+            consumer_trust_in_supplier=0.9,
+            exposure_grid=[0.0, 1.0],
+        )
+        assert game.payoffs(0.0, 0.0) == (0.0, 0.0)
+
+    def test_payoffs_reflect_trust(self, single_item):
+        trusting = ExposureGame(
+            single_item, 7.0, 0.9, 0.9, exposure_grid=[0.0, 10.0]
+        )
+        wary = ExposureGame(single_item, 7.0, 0.9, 0.5, exposure_grid=[0.0, 10.0])
+        _, consumer_trusting = trusting.payoffs(10.0, 10.0)
+        _, consumer_wary = wary.payoffs(10.0, 10.0)
+        assert consumer_trusting > consumer_wary
+
+    def test_equilibrium_trusting_partners_trade(self, single_item):
+        game = ExposureGame(
+            single_item,
+            price=7.0,
+            supplier_trust_in_consumer=0.95,
+            consumer_trust_in_supplier=0.95,
+        )
+        equilibrium = game.find_equilibrium()
+        assert isinstance(equilibrium, EquilibriumResult)
+        assert equilibrium.converged
+        assert equilibrium.schedulable
+        assert equilibrium.supplier_utility > 0
+        assert equilibrium.consumer_utility > 0
+
+    def test_equilibrium_distrusting_partners_do_not_trade(self, single_item):
+        game = ExposureGame(
+            single_item,
+            price=7.0,
+            supplier_trust_in_consumer=0.1,
+            consumer_trust_in_supplier=0.1,
+        )
+        equilibrium = game.find_equilibrium()
+        assert equilibrium.converged
+        # Nobody accepts the exposure the schedule would need: no trade, and
+        # both parties are left with their outside option of zero.
+        assert not equilibrium.schedulable or equilibrium.consumer_utility <= 0.0
+
+    def test_equilibrium_exposures_do_not_exceed_grid(self, bundle):
+        game = ExposureGame(bundle, 7.0, 0.8, 0.8, exposure_grid=[0.0, 2.0, 4.0, 6.0])
+        equilibrium = game.find_equilibrium()
+        assert equilibrium.supplier_exposure in game.exposure_grid
+        assert equilibrium.consumer_exposure in game.exposure_grid
+
+    def test_best_responses_are_grid_members(self, bundle):
+        game = ExposureGame(bundle, 7.0, 0.7, 0.7)
+        assert game.supplier_best_response(5.0) in game.exposure_grid
+        assert game.consumer_best_response(5.0) in game.exposure_grid
+
+    def test_default_grid_generated(self, bundle):
+        game = ExposureGame(bundle, 7.0, 0.5, 0.5)
+        assert len(game.exposure_grid) >= 5
+        assert game.exposure_grid[0] == 0.0
+
+    def test_invalid_trust_rejected(self, bundle):
+        with pytest.raises(DecisionError):
+            ExposureGame(bundle, 7.0, 1.5, 0.5)
+
+    def test_invalid_grid_rejected(self, bundle):
+        with pytest.raises(DecisionError):
+            ExposureGame(bundle, 7.0, 0.5, 0.5, exposure_grid=[-1.0, 2.0])

@@ -1,0 +1,91 @@
+"""Unit tests for price negotiation."""
+
+import pytest
+
+from repro.core.goods import Good, GoodsBundle
+from repro.core.negotiation import (
+    AlternatingOffersNegotiation,
+    split_surplus_price,
+)
+from repro.exceptions import NegotiationError
+
+
+@pytest.fixture
+def bundle():
+    return GoodsBundle.from_valuations([2.0, 3.0], [4.0, 6.0])  # Vs=5, Vc=10
+
+
+class TestSplitSurplusPrice:
+    def test_equal_split(self, bundle):
+        outcome = split_surplus_price(bundle, supplier_share=0.5)
+        assert outcome.price == pytest.approx(7.5)
+        assert outcome.supplier_gain == pytest.approx(2.5)
+        assert outcome.consumer_gain == pytest.approx(2.5)
+        assert outcome.total_surplus == pytest.approx(5.0)
+
+    def test_extreme_shares(self, bundle):
+        assert split_surplus_price(bundle, 0.0).price == pytest.approx(5.0)
+        assert split_surplus_price(bundle, 1.0).price == pytest.approx(10.0)
+
+    def test_invalid_share(self, bundle):
+        with pytest.raises(NegotiationError):
+            split_surplus_price(bundle, supplier_share=1.5)
+
+    def test_value_destroying_bundle_rejected(self):
+        bundle = GoodsBundle([Good(good_id="a", supplier_cost=10.0, consumer_value=2.0)])
+        with pytest.raises(NegotiationError):
+            split_surplus_price(bundle)
+
+
+class TestAlternatingOffers:
+    def test_reaches_agreement(self, bundle):
+        negotiation = AlternatingOffersNegotiation(
+            supplier_concession=0.3, consumer_concession=0.3
+        )
+        outcome = negotiation.negotiate(bundle)
+        assert 5.0 - 1e-9 <= outcome.price <= 10.0 + 1e-9
+        assert outcome.rounds >= 1
+        assert outcome.supplier_gain >= -1e-9
+        assert outcome.consumer_gain >= -1e-9
+        assert len(outcome.offer_history) >= 2
+
+    def test_symmetric_concessions_land_near_middle(self, bundle):
+        negotiation = AlternatingOffersNegotiation(
+            supplier_concession=0.25, consumer_concession=0.25, max_rounds=200
+        )
+        outcome = negotiation.negotiate(bundle)
+        assert outcome.price == pytest.approx(7.5, abs=1.0)
+
+    def test_stubborn_supplier_gets_higher_price(self, bundle):
+        eager_supplier = AlternatingOffersNegotiation(
+            supplier_concession=0.6, consumer_concession=0.1, max_rounds=200
+        ).negotiate(bundle)
+        stubborn_supplier = AlternatingOffersNegotiation(
+            supplier_concession=0.1, consumer_concession=0.6, max_rounds=200
+        ).negotiate(bundle)
+        assert stubborn_supplier.price > eager_supplier.price
+
+    def test_non_overlapping_reserves_fail(self, bundle):
+        negotiation = AlternatingOffersNegotiation(
+            supplier_reserve=9.0, consumer_reserve=6.0
+        )
+        with pytest.raises(NegotiationError):
+            negotiation.negotiate(bundle)
+
+    def test_price_respects_reserves(self, bundle):
+        negotiation = AlternatingOffersNegotiation(
+            supplier_reserve=6.0, consumer_reserve=8.0, max_rounds=500
+        )
+        outcome = negotiation.negotiate(bundle)
+        assert 6.0 - 1e-9 <= outcome.price <= 8.0 + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(NegotiationError):
+            AlternatingOffersNegotiation(supplier_concession=0.0)
+        with pytest.raises(NegotiationError):
+            AlternatingOffersNegotiation(max_rounds=0)
+
+    def test_value_destroying_bundle_rejected(self):
+        bundle = GoodsBundle([Good(good_id="a", supplier_cost=10.0, consumer_value=2.0)])
+        with pytest.raises(NegotiationError):
+            AlternatingOffersNegotiation().negotiate(bundle)

@@ -1,0 +1,167 @@
+"""Property-based tests of the safe-exchange planner (hypothesis).
+
+The central invariants exercised:
+
+1. *Soundness* — every schedule the planner produces satisfies the safety
+   requirements it was planned for (checked by the independent verifier).
+2. *Completeness* — for small bundles, whenever the exhaustive search finds a
+   feasible delivery order, the greedy planner does too (and vice versa).
+3. *Monotonicity* — enlarging the allowances never turns a feasible instance
+   infeasible.
+4. *Payment-policy equivalence* — all payment policies succeed on exactly the
+   same instances and all produce verifiably safe schedules.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.goods import Good, GoodsBundle
+from repro.core.planner import (
+    PaymentPolicy,
+    brute_force_delivery_order,
+    build_sequence,
+    plan_delivery_order,
+    plan_delivery_order_quadratic,
+    plan_exchange,
+    required_total_tolerance,
+)
+from repro.core.safety import ExchangeRequirements, verify_sequence
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+valuations = st.tuples(
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=25.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def bundles(draw, max_items: int = 6):
+    rows = draw(st.lists(valuations, min_size=1, max_size=max_items))
+    goods = [
+        Good(good_id=f"g{i}", supplier_cost=cost, consumer_value=value)
+        for i, (cost, value) in enumerate(rows)
+    ]
+    return GoodsBundle(goods)
+
+
+@st.composite
+def planning_instances(draw, max_items: int = 6):
+    bundle = draw(bundles(max_items=max_items))
+    price_fraction = draw(st.floats(min_value=0.0, max_value=1.0))
+    low = bundle.total_supplier_cost
+    high = max(bundle.total_consumer_value, low)
+    price = low + price_fraction * (high - low)
+    consumer_exposure = draw(st.floats(min_value=0.0, max_value=25.0))
+    supplier_exposure = draw(st.floats(min_value=0.0, max_value=25.0))
+    requirements = ExchangeRequirements(
+        consumer_accepted_exposure=consumer_exposure,
+        supplier_accepted_exposure=supplier_exposure,
+    )
+    return bundle, price, requirements
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=150, deadline=None)
+@given(planning_instances())
+def test_planned_sequences_are_safe(instance):
+    bundle, price, requirements = instance
+    sequence = plan_exchange(bundle, price, requirements)
+    if sequence is None:
+        return
+    report = verify_sequence(sequence, requirements)
+    assert report.safe, report.describe()
+    # Structural invariants of the sequence itself.
+    assert sorted(sequence.delivery_order) == sorted(bundle.good_ids)
+    assert sum(sequence.payments) == pytest.approx(price, abs=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(planning_instances(max_items=5))
+def test_greedy_matches_brute_force(instance):
+    bundle, price, requirements = instance
+    greedy = plan_delivery_order(bundle, price, requirements)
+    exhaustive = brute_force_delivery_order(bundle, price, requirements)
+    assert (greedy is None) == (exhaustive is None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(planning_instances())
+def test_quadratic_variant_agrees(instance):
+    bundle, price, requirements = instance
+    fast = plan_delivery_order(bundle, price, requirements)
+    quadratic = plan_delivery_order_quadratic(bundle, price, requirements)
+    assert (fast is None) == (quadratic is None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(planning_instances(), st.floats(min_value=0.0, max_value=10.0))
+def test_feasibility_monotone_in_allowance(instance, extra):
+    bundle, price, requirements = instance
+    if plan_delivery_order(bundle, price, requirements) is None:
+        return
+    larger = ExchangeRequirements(
+        consumer_accepted_exposure=requirements.consumer_accepted_exposure + extra,
+        supplier_accepted_exposure=requirements.supplier_accepted_exposure + extra,
+    )
+    assert plan_delivery_order(bundle, price, larger) is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(planning_instances())
+def test_payment_policies_agree_on_feasibility(instance):
+    bundle, price, requirements = instance
+    order = plan_delivery_order(bundle, price, requirements)
+    if order is None:
+        return
+    for policy in PaymentPolicy:
+        sequence = build_sequence(bundle, price, requirements, order, policy)
+        report = verify_sequence(sequence, requirements)
+        assert report.safe, f"{policy}: {report.describe()}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(bundles(max_items=5), st.floats(min_value=0.0, max_value=1.0))
+def test_required_tolerance_is_sufficient_and_tightish(bundle, price_fraction):
+    low = bundle.total_supplier_cost
+    high = max(bundle.total_consumer_value, low)
+    price = low + price_fraction * (high - low)
+    tolerance = required_total_tolerance(bundle, price)
+    assert tolerance >= 0.0
+    # Sufficient: planning with the returned tolerance (plus a hair) works.
+    requirements = ExchangeRequirements(
+        consumer_accepted_exposure=tolerance / 2 + 1e-5,
+        supplier_accepted_exposure=tolerance / 2 + 1e-5,
+    )
+    assert plan_delivery_order(bundle, price, requirements) is not None
+    # Not wildly loose: planning with a clearly smaller tolerance fails
+    # (unless the tolerance is already ~zero).
+    if tolerance > 0.1:
+        tight = ExchangeRequirements(
+            consumer_accepted_exposure=tolerance / 2 - 0.05,
+            supplier_accepted_exposure=tolerance / 2 - 0.05,
+        )
+        assert plan_delivery_order(bundle, price, tight) is None
+
+
+@settings(max_examples=80, deadline=None)
+@given(planning_instances())
+def test_temptations_bounded_by_allowances(instance):
+    bundle, price, requirements = instance
+    sequence = plan_exchange(bundle, price, requirements)
+    if sequence is None:
+        return
+    assert (
+        sequence.max_supplier_temptation
+        <= requirements.supplier_temptation_allowance + 1e-6
+    )
+    assert (
+        sequence.max_consumer_temptation
+        <= requirements.consumer_temptation_allowance + 1e-6
+    )

@@ -1,0 +1,107 @@
+"""Unit tests for the strategy interface and the trust-aware strategy."""
+
+import pytest
+
+from repro.core.decision import FractionalGainPolicy, ZeroExposurePolicy
+from repro.core.goods import Good, GoodsBundle
+from repro.core.safety import ExchangeRequirements, verify_sequence
+from repro.exceptions import MarketplaceError
+from repro.marketplace.strategy import StrategyContext, TrustAwareStrategy
+
+
+@pytest.fixture
+def hard_bundle():
+    """Single big item: not schedulable without trust or reputation."""
+    return GoodsBundle([Good(good_id="x", supplier_cost=6.0, consumer_value=12.0)])
+
+
+@pytest.fixture
+def easy_bundle():
+    return GoodsBundle.from_valuations([1.0] * 5, [2.0] * 5)
+
+
+class TestStrategyContext:
+    def test_defaults(self):
+        context = StrategyContext()
+        assert context.supplier_trust_in_consumer == 0.5
+        assert context.consumer_defection_penalty == 0.0
+
+    def test_invalid_trust(self):
+        with pytest.raises(MarketplaceError):
+            StrategyContext(supplier_trust_in_consumer=1.5)
+
+    def test_invalid_penalty(self):
+        with pytest.raises(MarketplaceError):
+            StrategyContext(supplier_defection_penalty=-1.0)
+
+
+class TestTrustAwareStrategy:
+    def test_trusting_context_schedules_hard_bundle(self, hard_bundle):
+        strategy = TrustAwareStrategy()
+        context = StrategyContext(
+            supplier_trust_in_consumer=0.9, consumer_trust_in_supplier=0.95
+        )
+        sequence = strategy.plan(hard_bundle, 9.0, context)
+        assert sequence is not None
+        # The exposure actually planned must be within what an expected-loss
+        # policy at that trust level accepts.
+        assert sequence.max_supplier_temptation <= 6.0 + 1e-9
+
+    def test_distrusting_context_declines(self, hard_bundle):
+        strategy = TrustAwareStrategy(
+            supplier_policy=FractionalGainPolicy(1.0),
+            consumer_policy=FractionalGainPolicy(1.0),
+        )
+        context = StrategyContext(
+            supplier_trust_in_consumer=0.1, consumer_trust_in_supplier=0.1
+        )
+        assert strategy.plan(hard_bundle, 9.0, context) is None
+
+    def test_easy_bundle_schedulable_even_with_zero_exposure(self, easy_bundle):
+        strategy = TrustAwareStrategy(
+            supplier_policy=ZeroExposurePolicy(), consumer_policy=ZeroExposurePolicy()
+        )
+        context = StrategyContext(
+            supplier_trust_in_consumer=0.0,
+            consumer_trust_in_supplier=0.0,
+            supplier_defection_penalty=1.0,
+            consumer_defection_penalty=1.0,
+        )
+        sequence = strategy.plan(easy_bundle, 5.0, context)
+        assert sequence is not None
+        requirements = ExchangeRequirements.with_reputation(1.0, 1.0)
+        assert verify_sequence(sequence, requirements).safe
+
+    def test_min_trust_gate(self, easy_bundle):
+        strategy = TrustAwareStrategy(min_trust=0.6)
+        context = StrategyContext(
+            supplier_trust_in_consumer=0.5, consumer_trust_in_supplier=0.9
+        )
+        # Supplier's trust in the consumer is below the gate: the supplier's
+        # decision module rejects, so the strategy declines the trade.
+        assert strategy.plan(easy_bundle, 7.0, context) is None
+
+    def test_require_agreement_flag(self, hard_bundle):
+        lenient = TrustAwareStrategy(
+            supplier_policy=FractionalGainPolicy(5.0),
+            consumer_policy=FractionalGainPolicy(5.0),
+            min_trust=0.99,
+            require_agreement=False,
+        )
+        context = StrategyContext(
+            supplier_trust_in_consumer=0.9, consumer_trust_in_supplier=0.9
+        )
+        # Schedulable, and with require_agreement=False the min_trust gate in
+        # the decision modules is ignored.
+        assert lenient.plan(hard_bundle, 9.0, context) is not None
+        strict = TrustAwareStrategy(
+            supplier_policy=FractionalGainPolicy(5.0),
+            consumer_policy=FractionalGainPolicy(5.0),
+            min_trust=0.99,
+            require_agreement=True,
+        )
+        assert strict.plan(hard_bundle, 9.0, context) is None
+
+    def test_describe(self):
+        text = TrustAwareStrategy().describe()
+        assert "trust-aware" in text

@@ -1,0 +1,162 @@
+"""Tests for P-Grid construction (exchange + balanced) and prefix routing."""
+
+import random
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.pgrid.construction import bootstrap_by_exchanges, build_balanced, exchange
+from repro.pgrid.keyspace import hash_to_bits
+from repro.pgrid.node import PGridPeer
+from repro.pgrid.replication import (
+    replica_groups,
+    replicas_for_key,
+    replication_factor,
+)
+from repro.pgrid.routing import route
+
+
+def make_peers(n):
+    return {f"p{i}": PGridPeer(peer_id=f"p{i}") for i in range(n)}
+
+
+class TestExchange:
+    def test_identical_paths_split(self):
+        a, b = PGridPeer(peer_id="a"), PGridPeer(peer_id="b")
+        exchange(a, b)
+        assert {a.path, b.path} == {"0", "1"}
+        assert a.references(1) == ("b",)
+        assert b.references(1) == ("a",)
+
+    def test_prefix_relation_specialises(self):
+        a = PGridPeer(peer_id="a", path="0")
+        b = PGridPeer(peer_id="b", path="01")
+        exchange(a, b)
+        # a specialises to the complement of b's next bit.
+        assert a.path == "00"
+        assert "b" in a.references(2)
+        assert "a" in b.references(2)
+
+    def test_divergent_paths_learn_references(self):
+        a = PGridPeer(peer_id="a", path="00")
+        b = PGridPeer(peer_id="b", path="11")
+        exchange(a, b)
+        assert a.path == "00" and b.path == "11"
+        assert "b" in a.references(1)
+        assert "a" in b.references(1)
+
+    def test_max_depth_respected(self):
+        a = PGridPeer(peer_id="a", path="0101")
+        b = PGridPeer(peer_id="b", path="0101")
+        exchange(a, b, max_depth=4)
+        assert a.path == "0101" and b.path == "0101"
+
+    def test_data_handover_on_split(self):
+        a, b = PGridPeer(peer_id="a"), PGridPeer(peer_id="b")
+        a.store_local("111", "value")
+        exchange(a, b)
+        # After the split one of the two peers is responsible for keys
+        # starting with 1 and must hold the value.
+        holder = a if a.path == "1" else b
+        assert holder.retrieve_local("111") == ["value"]
+        other = b if holder is a else a
+        assert other.retrieve_local("111") == []
+
+
+class TestBootstrapByExchanges:
+    def test_paths_get_refined(self):
+        peers = make_peers(32)
+        rounds = bootstrap_by_exchanges(peers, rng=random.Random(1))
+        assert rounds > 0
+        refined = [peer for peer in peers.values() if peer.path]
+        assert len(refined) >= len(peers) * 0.9
+
+    def test_routing_succeeds_after_bootstrap(self):
+        peers = make_peers(32)
+        bootstrap_by_exchanges(peers, rng=random.Random(2))
+        rng = random.Random(3)
+        key = hash_to_bits("some-key", 16)
+        successes = 0
+        for start in list(peers)[:10]:
+            result = route(peers, start, key, rng=rng)
+            if result.success:
+                successes += 1
+                responsible = peers[result.responsible_peer_id]
+                assert responsible.is_responsible_for(key)
+        assert successes >= 8
+
+    def test_tiny_network_is_noop(self):
+        peers = make_peers(1)
+        assert bootstrap_by_exchanges(peers) == 0
+
+
+class TestBuildBalanced:
+    def test_all_leaves_covered(self):
+        peers = make_peers(16)
+        depth = build_balanced(peers)
+        assert depth == 4
+        paths = {peer.path for peer in peers.values()}
+        assert len(paths) == 16
+        assert all(len(path) == 4 for path in paths)
+
+    def test_replicas_created_when_more_peers_than_leaves(self):
+        peers = make_peers(20)
+        build_balanced(peers, depth=3)
+        groups = replica_groups(peers)
+        assert len(groups) == 8
+        assert replication_factor(peers) == pytest.approx(20 / 8)
+
+    def test_routing_always_succeeds_on_balanced_grid(self):
+        peers = make_peers(64)
+        build_balanced(peers, references_per_level=3)
+        rng = random.Random(5)
+        for index in range(50):
+            key = hash_to_bits(f"key-{index}", 16)
+            start = rng.choice(list(peers))
+            result = route(peers, start, key, rng=rng)
+            assert result.success
+            assert peers[result.responsible_peer_id].is_responsible_for(key)
+            # Logarithmic cost: never more hops than the trie depth.
+            assert result.hops <= 6
+
+    def test_empty_network(self):
+        assert build_balanced({}) == 0
+
+
+class TestRoute:
+    def test_route_from_unknown_peer_rejected(self):
+        peers = make_peers(4)
+        build_balanced(peers)
+        with pytest.raises(RoutingError):
+            route(peers, "nope", "0000")
+
+    def test_route_fails_gracefully_without_references(self):
+        peers = {
+            "a": PGridPeer(peer_id="a", path="0"),
+            "b": PGridPeer(peer_id="b", path="1"),
+        }
+        # No routing references at all: a query for the other half fails.
+        result = route(peers, "a", "1111")
+        assert not result.success
+        assert result.responsible_peer_id is None
+
+    def test_zero_hops_when_start_is_responsible(self):
+        peers = {"a": PGridPeer(peer_id="a", path="")}
+        result = route(peers, "a", "0101")
+        assert result.success
+        assert result.hops == 0
+        assert result.visited == ("a",)
+
+
+class TestReplication:
+    def test_replicas_for_key(self):
+        peers = {
+            "a": PGridPeer(peer_id="a", path="0"),
+            "b": PGridPeer(peer_id="b", path="0"),
+            "c": PGridPeer(peer_id="c", path="1"),
+        }
+        assert replicas_for_key(peers, "0110") == ("a", "b")
+        assert replicas_for_key(peers, "10") == ("c",)
+
+    def test_replication_factor_empty(self):
+        assert replication_factor({}) == 0.0

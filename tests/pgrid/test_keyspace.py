@@ -1,0 +1,59 @@
+"""Unit tests for the P-Grid key space helpers."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.pgrid.keyspace import (
+    common_prefix_length,
+    flip_bit,
+    hash_to_bits,
+    is_prefix,
+    validate_binary,
+)
+
+
+class TestHashToBits:
+    def test_deterministic(self):
+        assert hash_to_bits("alice", 16) == hash_to_bits("alice", 16)
+
+    def test_length(self):
+        for bits in (1, 8, 16, 64):
+            assert len(hash_to_bits("key", bits)) == bits
+
+    def test_binary_alphabet(self):
+        assert set(hash_to_bits("anything", 32)) <= {"0", "1"}
+
+    def test_different_keys_differ(self):
+        assert hash_to_bits("alice", 32) != hash_to_bits("bob", 32)
+
+    def test_invalid_bits(self):
+        with pytest.raises(RoutingError):
+            hash_to_bits("key", 0)
+        with pytest.raises(RoutingError):
+            hash_to_bits("key", 1000)
+
+
+class TestPrefixHelpers:
+    def test_common_prefix_length(self):
+        assert common_prefix_length("0101", "0100") == 3
+        assert common_prefix_length("0101", "0101") == 4
+        assert common_prefix_length("1", "0") == 0
+        assert common_prefix_length("", "0101") == 0
+
+    def test_is_prefix(self):
+        assert is_prefix("", "0101")
+        assert is_prefix("01", "0101")
+        assert not is_prefix("11", "0101")
+        assert not is_prefix("01011", "0101")
+
+    def test_flip_bit(self):
+        assert flip_bit("0") == "1"
+        assert flip_bit("1") == "0"
+        with pytest.raises(RoutingError):
+            flip_bit("x")
+
+    def test_validate_binary(self):
+        assert validate_binary("0101") == "0101"
+        assert validate_binary("") == ""
+        with pytest.raises(RoutingError):
+            validate_binary("012")

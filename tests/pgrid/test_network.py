@@ -1,0 +1,120 @@
+"""Tests for the P-Grid network façade (insert/query with cost accounting)."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.pgrid.network import PGridNetwork
+
+
+def build_network(n=16, seed=1, strategy="balanced"):
+    network = PGridNetwork([f"p{i}" for i in range(n)], seed=seed)
+    network.build(strategy)
+    return network
+
+
+class TestConstruction:
+    def test_duplicate_peer_ids_rejected(self):
+        with pytest.raises(StorageError):
+            PGridNetwork(["a", "a"])
+
+    def test_unknown_strategy_rejected(self):
+        network = PGridNetwork(["a", "b"])
+        with pytest.raises(StorageError):
+            network.build("bogus")
+
+    def test_add_and_remove_peer(self):
+        network = build_network(8)
+        network.add_peer("newcomer")
+        assert len(network) == 9
+        with pytest.raises(StorageError):
+            network.add_peer("newcomer")
+        network.remove_peer("newcomer")
+        assert len(network) == 8
+
+    def test_peer_lookup(self):
+        network = build_network(4)
+        assert network.peer("p0").peer_id == "p0"
+        with pytest.raises(StorageError):
+            network.peer("zzz")
+
+
+class TestInsertAndQuery:
+    def test_round_trip(self):
+        network = build_network(16)
+        insert = network.insert("agent:alice", "complaint-1")
+        assert insert.success
+        assert insert.stored_on
+        query = network.query("agent:alice")
+        assert query.success
+        assert "complaint-1" in query.values
+
+    def test_multiple_values_accumulate(self):
+        network = build_network(16)
+        for index in range(5):
+            network.insert("agent:bob", f"value-{index}")
+        query = network.query("agent:bob")
+        assert len(query.values) == 5
+
+    def test_missing_key_returns_empty(self):
+        network = build_network(16)
+        query = network.query("agent:nobody")
+        assert query.success
+        assert query.values == ()
+
+    def test_replication_stores_on_all_replicas(self):
+        # 20 peers on a depth-3 trie -> every leaf has at least two replicas.
+        network = PGridNetwork([f"p{i}" for i in range(24)], seed=2)
+        network.build("balanced", depth=3)
+        insert = network.insert("agent:carol", "value")
+        assert insert.success
+        assert len(insert.stored_on) >= 2
+        replica_answers = network.query_replicas("agent:carol")
+        assert len(replica_answers) >= 2
+        assert all("value" in answer.values for answer in replica_answers)
+
+    def test_tampering_peer_forges_reads(self):
+        network = PGridNetwork([f"p{i}" for i in range(8)], seed=3)
+        network.build("balanced", depth=1)
+        network.insert("agent:dave", "real")
+        key = network.binary_key("agent:dave")
+        # Make every responsible peer dishonest and check the forgery shows up.
+        for peer_id, peer in network.peers.items():
+            if peer.is_responsible_for(key):
+                network.set_tamper_hook(peer_id, lambda k, values: ["forged"])
+        query = network.query("agent:dave")
+        assert query.values == ("forged",)
+
+    def test_stats_accumulate(self):
+        network = build_network(16)
+        network.insert("k", "v")
+        network.query("k")
+        assert network.stats.inserts == 1
+        assert network.stats.queries == 1
+        assert network.stats.total_messages >= 0
+        assert network.stats.mean_hops >= 0.0
+
+    def test_empty_network_operations_rejected(self):
+        network = PGridNetwork([])
+        with pytest.raises(StorageError):
+            network.insert("k", "v")
+        with pytest.raises(StorageError):
+            network.query("k")
+
+    def test_exchange_built_network_round_trip(self):
+        network = build_network(32, strategy="exchange")
+        stored = 0
+        found = 0
+        for index in range(10):
+            key = f"agent:{index}"
+            if network.insert(key, f"v{index}").success:
+                stored += 1
+                if f"v{index}" in network.query(key).values:
+                    found += 1
+        assert stored >= 8
+        assert found >= stored - 2
+
+    def test_total_stored_values(self):
+        network = build_network(16)
+        network.insert("a", "1")
+        network.insert("b", "2")
+        assert network.total_stored_values() >= 2

@@ -1,0 +1,98 @@
+"""Unit tests for the P-Grid peer node."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.pgrid.node import PGridPeer
+
+
+class TestResponsibility:
+    def test_empty_path_covers_everything(self):
+        peer = PGridPeer(peer_id="p1")
+        assert peer.is_responsible_for("0000")
+        assert peer.is_responsible_for("1111")
+
+    def test_prefix_responsibility(self):
+        peer = PGridPeer(peer_id="p1", path="01")
+        assert peer.is_responsible_for("0100")
+        assert not peer.is_responsible_for("0011")
+
+    def test_invalid_path_rejected(self):
+        with pytest.raises(Exception):
+            PGridPeer(peer_id="p1", path="0a1")
+
+    def test_empty_peer_id_rejected(self):
+        with pytest.raises(StorageError):
+            PGridPeer(peer_id="")
+
+
+class TestRoutingTable:
+    def test_add_and_pick_reference(self):
+        peer = PGridPeer(peer_id="p1", path="01")
+        peer.add_reference(1, "p2")
+        peer.add_reference(2, "p3")
+        assert peer.references(1) == ("p2",)
+        assert peer.pick_reference(2) == "p3"
+        assert peer.pick_reference(3) is None
+        assert peer.routing_levels() == (1, 2)
+
+    def test_no_self_reference(self):
+        peer = PGridPeer(peer_id="p1", path="01")
+        peer.add_reference(1, "p1")
+        assert peer.references(1) == ()
+
+    def test_duplicate_references_ignored(self):
+        peer = PGridPeer(peer_id="p1")
+        peer.add_reference(1, "p2")
+        peer.add_reference(1, "p2")
+        assert peer.references(1) == ("p2",)
+
+    def test_reference_cap(self):
+        peer = PGridPeer(peer_id="p1", max_references=2)
+        peer.add_reference(1, "a")
+        peer.add_reference(1, "b")
+        peer.add_reference(1, "c")
+        assert len(peer.references(1)) == 2
+        assert "c" in peer.references(1)
+
+    def test_invalid_level_rejected(self):
+        peer = PGridPeer(peer_id="p1")
+        with pytest.raises(StorageError):
+            peer.add_reference(0, "p2")
+
+    def test_all_references(self):
+        peer = PGridPeer(peer_id="p1", path="00")
+        peer.add_reference(1, "a")
+        peer.add_reference(2, "b")
+        assert peer.all_references() == {1: ("a",), 2: ("b",)}
+
+
+class TestLocalStore:
+    def test_store_and_retrieve(self):
+        peer = PGridPeer(peer_id="p1", path="0")
+        peer.store_local("0101", "value-1")
+        peer.store_local("0101", "value-2")
+        assert peer.retrieve_local("0101") == ["value-1", "value-2"]
+        assert peer.retrieve_local("1111") == []
+        assert peer.data_size() == 2
+        assert peer.stored_keys() == ("0101",)
+
+    def test_misplaced_keys(self):
+        peer = PGridPeer(peer_id="p1", path="0")
+        peer.store_local("0101", "ok")
+        peer.store_local("1101", "misplaced")
+        assert peer.misplaced_keys() == ("1101",)
+
+    def test_pop_key(self):
+        peer = PGridPeer(peer_id="p1")
+        peer.store_local("0101", "v")
+        assert peer.pop_key("0101") == ["v"]
+        assert peer.pop_key("0101") == []
+
+    def test_tamper_hook_applied_on_retrieve(self):
+        peer = PGridPeer(
+            peer_id="evil", path="", tamper_hook=lambda key, values: ["forged"]
+        )
+        peer.store_local("0101", "real")
+        assert peer.retrieve_local("0101") == ["forged"]
+        assert peer.retrieve_local_untampered("0101") == ["real"]

@@ -1,0 +1,128 @@
+"""Unit tests for the per-peer reputation manager (Figure 1 feedback loop)."""
+
+import pytest
+
+from repro.exceptions import ReputationError
+from repro.reputation.manager import ReputationManager, TrustMethod
+from repro.reputation.records import InteractionRecord
+from repro.reputation.reporting import WitnessPool
+from repro.trust.beta import BetaTrustModel
+from repro.trust.complaint import LocalComplaintStore
+from repro.trust.evidence import Complaint
+
+
+def completed(supplier, consumer, value=5.0, t=0.0):
+    return InteractionRecord(
+        supplier_id=supplier, consumer_id=consumer, completed=True, value=value,
+        timestamp=t,
+    )
+
+
+def defected(supplier, consumer, defector, value=5.0, t=0.0):
+    return InteractionRecord(
+        supplier_id=supplier,
+        consumer_id=consumer,
+        completed=False,
+        defector=defector,
+        value=value,
+        timestamp=t,
+    )
+
+
+class TestRecordInteraction:
+    def test_positive_experience_raises_trust(self):
+        manager = ReputationManager("alice")
+        baseline = manager.trust_estimate("bob")
+        manager.record_interaction(completed("bob", "alice"))
+        assert manager.trust_estimate("bob") > baseline
+        assert manager.interaction_count() == 1
+        assert manager.interaction_count("bob") == 1
+
+    def test_partner_defection_lowers_trust_and_files_complaint(self):
+        manager = ReputationManager("alice")
+        manager.record_interaction(defected("bob", "alice", defector="supplier"))
+        assert manager.trust_estimate("bob") < 0.5
+        complaints = manager.complaint_model.store.complaints_about("bob")
+        assert len(complaints) == 1
+        assert complaints[0].complainant_id == "alice"
+
+    def test_own_defection_does_not_generate_self_complaint(self):
+        manager = ReputationManager("alice")
+        manager.record_interaction(defected("bob", "alice", defector="consumer"))
+        # Alice (consumer) defected; she should not complain about Bob.
+        assert manager.complaint_model.store.complaints_about("bob") == []
+
+    def test_rejects_foreign_records(self):
+        manager = ReputationManager("alice")
+        with pytest.raises(ReputationError):
+            manager.record_interaction(completed("bob", "carol"))
+
+    def test_owner_as_supplier_learns_about_consumer(self):
+        manager = ReputationManager("alice")
+        manager.record_interaction(defected("alice", "bob", defector="consumer"))
+        assert manager.trust_estimate("bob") < 0.5
+
+
+class TestTrustQueries:
+    def test_unknown_peer_neutral(self):
+        manager = ReputationManager("alice")
+        assert manager.trust_estimate("stranger") == pytest.approx(0.5)
+        assert manager.trust_estimate(
+            "stranger", method=TrustMethod.COMPLAINT
+        ) == pytest.approx(1.0)
+
+    def test_combined_is_pessimistic(self):
+        store = LocalComplaintStore()
+        manager = ReputationManager("alice", complaint_store=store)
+        # Complaints from third parties about bob, but good direct experience.
+        for index in range(5):
+            store.file_complaint(
+                Complaint(complainant_id=f"victim-{index}", accused_id="bob")
+            )
+        for _ in range(5):
+            manager.record_interaction(completed("bob", "alice"))
+        combined = manager.trust_estimate("bob", method=TrustMethod.COMBINED)
+        beta = manager.trust_estimate("bob", method=TrustMethod.BETA)
+        assert combined <= beta
+
+    def test_unknown_method_rejected(self):
+        manager = ReputationManager("alice")
+        with pytest.raises(ReputationError):
+            manager.trust_estimate("bob", method="tarot")
+
+    def test_witness_pool_augments_estimate(self):
+        manager = ReputationManager("alice")
+        witness = BetaTrustModel()
+        for _ in range(10):
+            witness.record_outcome("bob", honest=False)
+        pool = WitnessPool(models={"w1": witness})
+        with_witness = manager.trust_estimate("bob", witness_pool=pool)
+        without_witness = manager.trust_estimate("bob")
+        assert with_witness < without_witness
+
+    def test_is_trustworthy_threshold(self):
+        manager = ReputationManager("alice")
+        for _ in range(8):
+            manager.record_interaction(completed("bob", "alice"))
+        assert manager.is_trustworthy("bob", threshold=0.7)
+        assert not manager.is_trustworthy("stranger", threshold=0.7)
+
+    def test_trust_snapshot_excludes_owner(self):
+        manager = ReputationManager("alice")
+        manager.record_interaction(completed("bob", "alice"))
+        manager.record_interaction(defected("carol", "alice", defector="supplier"))
+        snapshot = manager.trust_snapshot()
+        assert "alice" not in snapshot
+        assert snapshot["bob"] > snapshot["carol"]
+
+    def test_shared_store_spreads_complaints(self):
+        shared = LocalComplaintStore()
+        alice = ReputationManager("alice", complaint_store=shared)
+        carol = ReputationManager("carol", complaint_store=shared)
+        alice.record_interaction(defected("bob", "alice", defector="supplier"))
+        # Carol has no direct experience but sees the complaint.
+        assert carol.trust_estimate("bob", method=TrustMethod.COMPLAINT) < 1.0
+
+    def test_empty_owner_rejected(self):
+        with pytest.raises(ReputationError):
+            ReputationManager("")

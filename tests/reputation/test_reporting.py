@@ -1,0 +1,110 @@
+"""Unit tests for witness reporting."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ReputationError
+from repro.reputation.reporting import (
+    WitnessPool,
+    collect_witness_reports,
+    indirect_belief,
+)
+from repro.trust.beta import BetaTrustModel
+
+
+def witness_with_history(subject_id, honest_count, dishonest_count):
+    model = BetaTrustModel()
+    for _ in range(honest_count):
+        model.record_outcome(subject_id, honest=True)
+    for _ in range(dishonest_count):
+        model.record_outcome(subject_id, honest=False)
+    return model
+
+
+class TestWitnessPool:
+    def test_honest_report(self):
+        pool = WitnessPool(models={"w1": witness_with_history("target", 8, 2)})
+        belief = pool.report_of("w1", "target")
+        assert belief.mean > 0.5
+
+    def test_liar_inverts_report(self):
+        pool = WitnessPool(
+            models={"w1": witness_with_history("target", 8, 2)}, liars={"w1"}
+        )
+        belief = pool.report_of("w1", "target")
+        assert belief.mean < 0.5
+
+    def test_unknown_liar_rejected(self):
+        with pytest.raises(ReputationError):
+            WitnessPool(models={"w1": BetaTrustModel()}, liars={"ghost"})
+
+    def test_invalid_availability(self):
+        with pytest.raises(ReputationError):
+            WitnessPool(models={"w1": BetaTrustModel()}, availability=1.5)
+
+
+class TestCollectWitnessReports:
+    def test_collects_only_informed_witnesses(self):
+        pool = WitnessPool(
+            models={
+                "informed": witness_with_history("target", 5, 0),
+                "clueless": BetaTrustModel(),
+            }
+        )
+        reports = collect_witness_reports("target", pool)
+        assert [report.witness_id for report in reports] == ["informed"]
+
+    def test_excludes_subject_and_requested_ids(self):
+        pool = WitnessPool(
+            models={
+                "target": witness_with_history("target", 5, 0),
+                "w1": witness_with_history("target", 5, 0),
+                "w2": witness_with_history("target", 5, 0),
+            }
+        )
+        reports = collect_witness_reports("target", pool, exclude=["w2"])
+        assert [report.witness_id for report in reports] == ["w1"]
+
+    def test_witness_trust_attached(self):
+        pool = WitnessPool(models={"w1": witness_with_history("target", 3, 0)})
+        reports = collect_witness_reports(
+            "target", pool, witness_trusts={"w1": 0.25}
+        )
+        assert reports[0].witness_trust == pytest.approx(0.25)
+
+    def test_availability_drops_witnesses(self):
+        pool = WitnessPool(
+            models={
+                f"w{i}": witness_with_history("target", 3, 0) for i in range(20)
+            },
+            availability=0.0,
+        )
+        reports = collect_witness_reports("target", pool, rng=random.Random(1))
+        assert reports == []
+
+
+class TestIndirectBelief:
+    def test_witnesses_inform_a_stranger(self):
+        own = BetaTrustModel()  # no direct experience
+        pool = WitnessPool(
+            models={
+                "w1": witness_with_history("target", 10, 0),
+                "w2": witness_with_history("target", 9, 1),
+            }
+        )
+        belief = indirect_belief("target", own, pool)
+        assert belief.mean > 0.8
+
+    def test_distrusted_witnesses_have_little_effect(self):
+        own = BetaTrustModel()
+        pool = WitnessPool(models={"w1": witness_with_history("target", 0, 10)})
+        trusted = indirect_belief("target", own, pool, witness_trusts={"w1": 1.0})
+        distrusted = indirect_belief("target", own, pool, witness_trusts={"w1": 0.05})
+        assert trusted.mean < distrusted.mean <= 0.55
+
+    def test_direct_experience_retained(self):
+        own = witness_with_history("target", 10, 0)
+        pool = WitnessPool(models={})
+        belief = indirect_belief("target", own, pool)
+        assert belief.mean == pytest.approx(own.trust("target"))

@@ -1,0 +1,98 @@
+"""Unit tests for local and distributed reputation stores."""
+
+import pytest
+
+from repro.pgrid.network import PGridNetwork
+from repro.reputation.records import InteractionRecord, Rating
+from repro.reputation.store import DistributedReputationStore, LocalReputationStore
+from repro.trust.complaint import ComplaintTrustModel
+from repro.trust.evidence import Complaint
+
+
+class TestLocalReputationStore:
+    def test_ratings(self):
+        store = LocalReputationStore()
+        store.add_rating(Rating(rater_id="a", subject_id="b", score=1.0))
+        store.add_rating(Rating(rater_id="b", subject_id="a", score=0.0))
+        assert len(store.ratings_about("b")) == 1
+        assert len(store.ratings_by("b")) == 1
+
+    def test_records(self):
+        store = LocalReputationStore()
+        store.add_record(
+            InteractionRecord(supplier_id="s", consumer_id="c", completed=True)
+        )
+        assert len(store.records_involving("s")) == 1
+        assert len(store.records_involving("x")) == 0
+        assert len(store.records) == 1
+
+    def test_complaint_store_protocol(self):
+        store = LocalReputationStore()
+        store.file_complaint(Complaint("victim", "cheat"))
+        assert len(store.complaints_about("cheat")) == 1
+        assert len(store.complaints_by("victim")) == 1
+        assert "cheat" in store.known_agents()
+
+    def test_usable_by_complaint_trust_model(self):
+        store = LocalReputationStore()
+        model = ComplaintTrustModel(store=store, metric_mode="balanced")
+        model.file_complaint("a", "b")
+        assert model.counts("b").received == 1
+
+
+def build_distributed_store(peers=16, seed=1):
+    network = PGridNetwork([f"p{i}" for i in range(peers)], seed=seed)
+    network.build("balanced")
+    return DistributedReputationStore(network)
+
+
+class TestDistributedReputationStore:
+    def test_complaint_round_trip(self):
+        store = build_distributed_store()
+        store.file_complaint(Complaint("victim", "cheat", timestamp=2.0))
+        about = store.complaints_about("cheat")
+        assert len(about) == 1
+        assert about[0].complainant_id == "victim"
+        by = store.complaints_by("victim")
+        assert len(by) == 1
+        assert by[0].accused_id == "cheat"
+
+    def test_known_agents_registry(self):
+        store = build_distributed_store()
+        store.file_complaint(Complaint("a", "b"))
+        assert set(store.known_agents()) == {"a", "b"}
+
+    def test_rating_round_trip(self):
+        store = build_distributed_store()
+        store.add_rating(Rating(rater_id="a", subject_id="b", score=1.0))
+        ratings = store.ratings_about("b")
+        assert len(ratings) == 1
+        assert ratings[0].rater_id == "a"
+
+    def test_complaint_reports_per_replica(self):
+        network = PGridNetwork([f"p{i}" for i in range(24)], seed=2)
+        network.build("balanced", depth=3)
+        store = DistributedReputationStore(network)
+        for index in range(3):
+            store.file_complaint(Complaint(f"victim-{index}", "cheat"))
+        reports = store.complaint_reports_about("cheat")
+        assert reports
+        # Honest replicas all report the same counts.
+        assert all(report[0] == 3 for report in reports)
+
+    def test_works_with_complaint_trust_model(self):
+        store = build_distributed_store()
+        model = ComplaintTrustModel(store=store, metric_mode="balanced",
+                                    tolerance_factor=1.0)
+        for index in range(4):
+            model.file_complaint(f"victim-{index}", "cheat")
+        assert not model.is_trustworthy("cheat")
+        assert model.is_trustworthy("victim-0")
+
+    def test_garbage_payloads_ignored(self):
+        store = build_distributed_store()
+        # Insert a corrupted value directly under the complaint key.
+        store.network.insert(
+            DistributedReputationStore.ABOUT_PREFIX + "someone", "garbage|data"
+        )
+        assert store.complaints_about("someone") == []

@@ -1,0 +1,107 @@
+"""Unit tests for the behaviour models."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.behaviors import (
+    FluctuatingBehavior,
+    HonestBehavior,
+    OpportunisticBehavior,
+    ProbabilisticBehavior,
+    RationalDefectorBehavior,
+)
+
+
+class TestHonestBehavior:
+    def test_never_defects(self):
+        behavior = HonestBehavior()
+        rng = random.Random(0)
+        assert not behavior.will_defect(1e9, 0.0, rng)
+        assert behavior.honesty_probability == 1.0
+        assert behavior.false_complaint_probability == 0.0
+
+
+class TestRationalDefector:
+    def test_defects_exactly_when_tempted(self):
+        behavior = RationalDefectorBehavior()
+        rng = random.Random(0)
+        assert behavior.will_defect(0.1, 5.0, rng)
+        assert not behavior.will_defect(0.0, 5.0, rng)
+        assert not behavior.will_defect(-3.0, 5.0, rng)
+        assert behavior.honesty_probability == 0.0
+
+    def test_false_complaints_configurable(self):
+        behavior = RationalDefectorBehavior(false_complaint_probability=0.7)
+        assert behavior.false_complaint_probability == 0.7
+        with pytest.raises(SimulationError):
+            RationalDefectorBehavior(false_complaint_probability=1.5)
+
+    def test_describe(self):
+        assert "rational" in RationalDefectorBehavior().describe()
+
+
+class TestOpportunisticBehavior:
+    def test_threshold(self):
+        behavior = OpportunisticBehavior(threshold=5.0)
+        rng = random.Random(0)
+        assert not behavior.will_defect(4.9, 0.0, rng)
+        assert behavior.will_defect(5.1, 0.0, rng)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(SimulationError):
+            OpportunisticBehavior(threshold=-1.0)
+
+    def test_describe_contains_threshold(self):
+        assert "5.0" in OpportunisticBehavior(threshold=5.0).describe()
+
+
+class TestProbabilisticBehavior:
+    def test_never_defects_without_temptation(self):
+        behavior = ProbabilisticBehavior(honesty=0.0)
+        rng = random.Random(0)
+        assert not behavior.will_defect(0.0, 1.0, rng)
+
+    def test_defection_frequency_tracks_honesty(self):
+        rng = random.Random(1)
+        behavior = ProbabilisticBehavior(honesty=0.8)
+        defections = sum(
+            1 for _ in range(2000) if behavior.will_defect(1.0, 1.0, rng)
+        )
+        assert 0.15 < defections / 2000 < 0.25
+
+    def test_fully_honest_never_defects(self):
+        behavior = ProbabilisticBehavior(honesty=1.0)
+        rng = random.Random(2)
+        assert not any(behavior.will_defect(1.0, 1.0, rng) for _ in range(100))
+
+    def test_invalid_honesty(self):
+        with pytest.raises(SimulationError):
+            ProbabilisticBehavior(honesty=1.5)
+
+
+class TestFluctuatingBehavior:
+    def test_switches_at_switch_time(self):
+        behavior = FluctuatingBehavior(
+            initial_honesty=1.0, later_honesty=0.0, switch_time=10.0
+        )
+        rng = random.Random(3)
+        before = [behavior.will_defect(1.0, 1.0, rng, time=5.0) for _ in range(50)]
+        after = [behavior.will_defect(1.0, 1.0, rng, time=15.0) for _ in range(50)]
+        assert not any(before)
+        assert all(after)
+
+    def test_honesty_at(self):
+        behavior = FluctuatingBehavior(
+            initial_honesty=0.9, later_honesty=0.2, switch_time=10.0
+        )
+        assert behavior.honesty_at(0.0) == 0.9
+        assert behavior.honesty_at(10.0) == 0.2
+        assert behavior.honesty_probability == 0.2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            FluctuatingBehavior(initial_honesty=1.5)
+        with pytest.raises(SimulationError):
+            FluctuatingBehavior(switch_time=-1.0)

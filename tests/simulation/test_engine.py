@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event engine and event queue."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        queue.pop().fire()
+        queue.pop().fire()
+        assert fired == ["early", "late"]
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("low"), priority=5)
+        queue.push(1.0, lambda: fired.append("high"), priority=0)
+        queue.pop().fire()
+        assert fired == ["high"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("first"))
+        queue.push(1.0, lambda: fired.append("second"))
+        queue.pop().fire()
+        queue.pop().fire()
+        assert fired == ["first", "second"]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.push(1.0, lambda: fired.append("cancelled"))
+        queue.push(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        assert len(queue) == 1
+        queue.pop().fire()
+        assert fired == ["kept"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(3.0, lambda: None)
+        assert queue.peek_time() == 3.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert queue.is_empty
+
+
+class TestSimulationEngine:
+    def test_clock_advances_with_events(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule_at(5.0, lambda: times.append(engine.now))
+        engine.schedule_at(2.0, lambda: times.append(engine.now))
+        processed = engine.run()
+        assert processed == 2
+        assert times == [2.0, 5.0]
+        assert engine.now == 5.0
+        assert engine.processed_events == 2
+
+    def test_schedule_in_relative(self):
+        engine = SimulationEngine()
+        fired_at = []
+        engine.schedule_in(3.0, lambda: fired_at.append(engine.now))
+        engine.run()
+        assert fired_at == [3.0]
+
+    def test_cannot_schedule_into_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda: None)
+
+    def test_run_until_bound(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 2.0, 10.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run(until=5.0)
+        assert fired == [1.0, 2.0]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+        engine.run()
+        assert fired == [1.0, 2.0, 10.0]
+
+    def test_run_max_events(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda: None)
+        assert engine.run(max_events=2) == 2
+        assert engine.pending_events == 1
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule_in(1.0, lambda: fired.append("chained"))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert fired == ["first", "chained"]
+        assert engine.now == 2.0
+
+    def test_periodic_with_repetitions(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(2.0, lambda: ticks.append(engine.now), repetitions=3)
+        engine.run()
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_periodic_bounded_by_until(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(1.0, lambda: ticks.append(engine.now))
+        engine.run(until=4.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_periodic_invalid_interval(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_periodic(0.0, lambda: None)
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_reset(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.processed_events == 0
+        assert engine.pending_events == 0

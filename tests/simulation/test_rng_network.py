@@ -1,0 +1,126 @@
+"""Unit tests for seeded RNG streams and the simulated network."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import (
+    ExponentialLatency,
+    FixedLatency,
+    SimulatedNetwork,
+    UniformLatency,
+)
+from repro.simulation.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(42).stream("matching")
+        b = RandomStreams(42).stream("matching")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        seq_a = [streams("a").random() for _ in range(5)]
+        seq_b = [streams("b").random() for _ in range(5)]
+        assert seq_a != seq_b
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_spawn_derives_new_family(self):
+        parent = RandomStreams(7)
+        child_a = parent.spawn("child")
+        child_b = RandomStreams(7).spawn("child")
+        assert child_a.master_seed == child_b.master_seed
+        assert child_a.master_seed != parent.master_seed
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        import random
+
+        assert FixedLatency(2.0).sample(random.Random(0)) == 2.0
+
+    def test_uniform_within_bounds(self):
+        import random
+
+        model = UniformLatency(low=1.0, high=2.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 1.0 <= model.sample(rng) <= 2.0
+
+    def test_exponential_respects_minimum(self):
+        import random
+
+        model = ExponentialLatency(mean=1.0, minimum=0.5)
+        rng = random.Random(0)
+        assert all(model.sample(rng) >= 0.5 for _ in range(100))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            FixedLatency(-1.0)
+        with pytest.raises(SimulationError):
+            UniformLatency(low=2.0, high=1.0)
+        with pytest.raises(SimulationError):
+            ExponentialLatency(mean=0.0)
+
+
+class TestSimulatedNetwork:
+    def build(self, loss=0.0):
+        engine = SimulationEngine()
+        network = SimulatedNetwork(engine, latency=FixedLatency(1.5), loss_probability=loss)
+        return engine, network
+
+    def test_delivery_after_latency(self):
+        engine, network = self.build()
+        received = []
+        network.register("bob", lambda message: received.append(message))
+        assert network.send("alice", "bob", {"hello": 1})
+        assert received == []  # not delivered yet
+        engine.run()
+        assert len(received) == 1
+        assert received[0].sender_id == "alice"
+        assert received[0].payload == {"hello": 1}
+        assert engine.now == 1.5
+        assert network.counters.delivered == 1
+        assert network.counters.mean_latency == pytest.approx(1.5)
+
+    def test_unknown_recipient_counts_undeliverable(self):
+        engine, network = self.build()
+        assert not network.send("alice", "ghost", "x")
+        assert network.counters.undeliverable == 1
+
+    def test_unregister(self):
+        engine, network = self.build()
+        network.register("bob", lambda message: None)
+        assert network.is_registered("bob")
+        network.unregister("bob")
+        assert not network.is_registered("bob")
+
+    def test_loss_drops_messages(self):
+        import random
+
+        engine = SimulationEngine()
+        network = SimulatedNetwork(
+            engine, loss_probability=0.5, rng=random.Random(3)
+        )
+        received = []
+        network.register("bob", lambda message: received.append(message))
+        for _ in range(200):
+            network.send("alice", "bob", "ping")
+        engine.run()
+        assert network.counters.dropped > 50
+        assert len(received) == network.counters.delivered
+        assert network.counters.dropped + network.counters.delivered == 200
+
+    def test_invalid_loss_probability(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            SimulatedNetwork(engine, loss_probability=1.0)
+
+    def test_empty_peer_id_rejected(self):
+        engine, network = self.build()
+        with pytest.raises(SimulationError):
+            network.register("", lambda message: None)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPlanCommand:
+    def test_successful_plan(self, capsys):
+        exit_code = main(
+            [
+                "plan",
+                "book=4:9",
+                "cd=2:5",
+                "--supplier-trust", "0.9",
+                "--consumer-trust", "0.9",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "schedulable: True" in output
+        assert "delivers" in output
+        assert "satisfies the requirements" in output
+
+    def test_untrusting_plan_fails(self, capsys):
+        exit_code = main(
+            [
+                "plan",
+                "server=50:80",
+                "--supplier-trust", "0.0",
+                "--consumer-trust", "0.0",
+                "--budget", "0.0",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "No schedule satisfies" in output
+
+    def test_explicit_price(self, capsys):
+        exit_code = main(["plan", "book=4:9", "--price", "6.0",
+                          "--consumer-trust", "0.95", "--supplier-trust", "0.95"])
+        assert exit_code == 0
+        assert "price 6.000" in capsys.readouterr().out
+
+    def test_invalid_item_spec_rejected(self, capsys):
+        exit_code = main(["plan", "book"])
+        assert exit_code == 2
+        assert "expected name=cost:value" in capsys.readouterr().err
+
+    def test_value_destroying_bundle_reports_error(self, capsys):
+        exit_code = main(["plan", "junk=10:1"])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestScenarioCommand:
+    def test_runs_small_scenario(self, capsys):
+        exit_code = main(
+            [
+                "scenario", "ebay",
+                "--size", "8",
+                "--rounds", "3",
+                "--strategy", "goods-first",
+                "--seed", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Attempted trades" in output
+        assert "Honest welfare" in output
+
+    def test_trust_aware_default_strategy(self, capsys):
+        exit_code = main(["scenario", "teamwork", "--size", "8", "--rounds", "3"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "trust-aware" in output
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "atlantis"])
+
+
+class TestToleranceCommand:
+    def test_reports_tolerance_and_threshold(self, capsys):
+        exit_code = main(["tolerance", "task=5:10"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Required total tolerance" in output
+        assert "5.000" in output
+        assert "Cooperation discount threshold" in output
+
+    def test_unsustainable_price(self, capsys):
+        exit_code = main(["tolerance", "task=5:10", "--price", "11.0"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "not sustainable" in output
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_strategy_choices_cover_all_baselines(self):
+        parser = build_parser()
+        args = parser.parse_args(["scenario", "ebay", "--strategy", "alternating"])
+        assert args.strategy == "alternating"

@@ -1,0 +1,179 @@
+"""Unit and property tests for the Bayesian (beta) trust model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrustModelError
+from repro.trust.beta import BetaBelief, BetaTrustModel
+from repro.trust.decay import ExponentialDecay
+from repro.trust.evidence import Observation
+
+
+class TestBetaBelief:
+    def test_uniform_prior_mean(self):
+        belief = BetaBelief(1.0, 1.0)
+        assert belief.mean == pytest.approx(0.5)
+        assert belief.strength == pytest.approx(2.0)
+
+    def test_update_honest_and_dishonest(self):
+        belief = BetaBelief(1.0, 1.0).updated(True).updated(True).updated(False)
+        assert belief.alpha == pytest.approx(3.0)
+        assert belief.beta == pytest.approx(2.0)
+        assert belief.mean == pytest.approx(0.6)
+
+    def test_weighted_update(self):
+        belief = BetaBelief(1.0, 1.0).updated(True, weight=5.0)
+        assert belief.alpha == pytest.approx(6.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TrustModelError):
+            BetaBelief(0.0, 1.0)
+        with pytest.raises(TrustModelError):
+            BetaBelief(1.0, -1.0)
+
+    def test_invalid_update_weight(self):
+        with pytest.raises(TrustModelError):
+            BetaBelief(1.0, 1.0).updated(True, weight=0.0)
+
+    def test_merged_discounts_evidence(self):
+        direct = BetaBelief(1.0, 1.0)
+        witness = BetaBelief(11.0, 1.0)  # 10 honest observations
+        fully_trusted = direct.merged(witness, discount=1.0)
+        assert fully_trusted.alpha == pytest.approx(11.0)
+        half_trusted = direct.merged(witness, discount=0.5)
+        assert half_trusted.alpha == pytest.approx(6.0)
+        untrusted = direct.merged(witness, discount=0.0)
+        assert untrusted.alpha == pytest.approx(1.0)
+
+    def test_merged_invalid_discount(self):
+        with pytest.raises(TrustModelError):
+            BetaBelief(1.0, 1.0).merged(BetaBelief(2.0, 1.0), discount=1.5)
+
+    def test_credible_interval_contains_mean(self):
+        belief = BetaBelief(8.0, 3.0)
+        low, high = belief.credible_interval(0.95)
+        assert 0.0 <= low <= belief.mean <= high <= 1.0
+
+    def test_credible_interval_narrows_with_evidence(self):
+        weak = BetaBelief(2.0, 2.0)
+        strong = BetaBelief(20.0, 20.0)
+        weak_width = weak.credible_interval()[1] - weak.credible_interval()[0]
+        strong_width = strong.credible_interval()[1] - strong.credible_interval()[0]
+        assert strong_width < weak_width
+
+    def test_credible_interval_invalid_level(self):
+        with pytest.raises(TrustModelError):
+            BetaBelief(1.0, 1.0).credible_interval(level=1.0)
+
+    def test_variance_positive(self):
+        assert BetaBelief(3.0, 4.0).variance > 0.0
+
+
+class TestBetaTrustModel:
+    def test_unknown_subject_gets_prior(self):
+        model = BetaTrustModel()
+        assert model.trust("stranger") == pytest.approx(0.5)
+        assert model.observation_count("stranger") == 0
+
+    def test_trust_increases_with_honest_evidence(self):
+        model = BetaTrustModel()
+        for _ in range(10):
+            model.record_outcome("alice", honest=True)
+        assert model.trust("alice") > 0.85
+
+    def test_trust_decreases_with_dishonest_evidence(self):
+        model = BetaTrustModel()
+        for _ in range(10):
+            model.record_outcome("mallory", honest=False)
+        assert model.trust("mallory") < 0.15
+
+    def test_custom_prior(self):
+        pessimistic = BetaTrustModel(prior_alpha=1.0, prior_beta=3.0)
+        assert pessimistic.trust("stranger") == pytest.approx(0.25)
+
+    def test_invalid_prior(self):
+        with pytest.raises(TrustModelError):
+            BetaTrustModel(prior_alpha=0.0)
+
+    def test_record_observation_objects(self):
+        model = BetaTrustModel()
+        model.record(Observation.honest("me", "bob"))
+        model.extend([Observation.dishonest("me", "bob")])
+        assert model.observation_count("bob") == 2
+        belief = model.belief("bob")
+        assert belief.alpha == pytest.approx(2.0)
+        assert belief.beta == pytest.approx(2.0)
+
+    def test_known_subjects_and_snapshot(self):
+        model = BetaTrustModel()
+        model.record_outcome("a", True)
+        model.record_outcome("b", False)
+        assert set(model.known_subjects()) == {"a", "b"}
+        snapshot = model.trust_snapshot()
+        assert snapshot["a"] > snapshot["b"]
+
+    def test_decay_discounts_old_evidence(self):
+        model = BetaTrustModel(decay=ExponentialDecay(half_life=10.0))
+        # Old dishonest evidence, recent honest evidence.
+        model.record_outcome("peer", honest=False, timestamp=0.0)
+        model.record_outcome("peer", honest=True, timestamp=100.0)
+        trust_now = model.trust("peer", now=100.0)
+        trust_without_decay = BetaTrustModel()
+        trust_without_decay.record_outcome("peer", honest=False, timestamp=0.0)
+        trust_without_decay.record_outcome("peer", honest=True, timestamp=100.0)
+        assert trust_now > trust_without_decay.trust("peer")
+
+    def test_weighted_observations_matter_more(self):
+        light = BetaTrustModel()
+        light.record_outcome("peer", honest=False, weight=1.0)
+        heavy = BetaTrustModel()
+        heavy.record_outcome("peer", honest=False, weight=10.0)
+        assert heavy.trust("peer") < light.trust("peer")
+
+    def test_credible_interval_via_model(self):
+        model = BetaTrustModel()
+        for _ in range(5):
+            model.record_outcome("alice", honest=True)
+        low, high = model.credible_interval("alice")
+        assert 0.0 <= low < high <= 1.0
+
+
+class TestBetaModelProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.booleans(), min_size=0, max_size=40))
+    def test_trust_matches_laplace_estimate(self, outcomes):
+        model = BetaTrustModel()
+        for outcome in outcomes:
+            model.record_outcome("peer", honest=outcome)
+        honest = sum(outcomes)
+        expected = (honest + 1.0) / (len(outcomes) + 2.0)
+        assert model.trust("peer") == pytest.approx(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=30),
+        st.booleans(),
+    )
+    def test_monotonicity_in_added_evidence(self, outcomes, extra):
+        model = BetaTrustModel()
+        for outcome in outcomes:
+            model.record_outcome("peer", honest=outcome)
+        before = model.trust("peer")
+        model.record_outcome("peer", honest=extra)
+        after = model.trust("peer")
+        if extra:
+            assert after >= before
+        else:
+            assert after <= before
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=0.99), st.integers(10, 200))
+    def test_estimates_stay_in_unit_interval(self, honesty, n):
+        import random
+
+        rng = random.Random(int(honesty * 1000) + n)
+        model = BetaTrustModel()
+        for _ in range(n):
+            model.record_outcome("peer", honest=rng.random() < honesty)
+        assert 0.0 <= model.trust("peer") <= 1.0

@@ -1,0 +1,123 @@
+"""Unit tests for the complaint-based trust model (Aberer & Despotovic)."""
+
+import pytest
+
+from repro.exceptions import TrustModelError
+from repro.trust.complaint import (
+    ComplaintCounts,
+    ComplaintTrustModel,
+    LocalComplaintStore,
+    aggregate_witness_reports,
+)
+from repro.trust.evidence import Complaint
+
+
+class TestComplaintCounts:
+    def test_metric_is_product(self):
+        assert ComplaintCounts(received=3, filed=2).metric == 6.0
+        assert ComplaintCounts(received=3, filed=0).metric == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(TrustModelError):
+            ComplaintCounts(received=-1, filed=0)
+
+
+class TestLocalComplaintStore:
+    def test_file_and_query(self):
+        store = LocalComplaintStore()
+        store.file_complaint(Complaint("victim", "cheat"))
+        store.file_complaint(Complaint("cheat", "victim"))
+        store.file_complaint(Complaint("other", "cheat"))
+        assert len(store) == 3
+        assert len(store.complaints_about("cheat")) == 2
+        assert len(store.complaints_by("cheat")) == 1
+        assert set(store.known_agents()) == {"victim", "cheat", "other"}
+
+
+class TestAggregateWitnessReports:
+    def test_median_tolerates_minority_of_liars(self):
+        reports = [(5, 2), (5, 2), (0, 0)]  # one replica under-reports
+        counts = aggregate_witness_reports(reports)
+        assert counts.received == 5
+        assert counts.filed == 2
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(TrustModelError):
+            aggregate_witness_reports([])
+
+
+class TestComplaintTrustModel:
+    def test_unknown_agent_is_trusted(self):
+        model = ComplaintTrustModel()
+        assessment = model.assess("stranger")
+        assert assessment.trustworthy
+        assert assessment.trust == pytest.approx(1.0)
+
+    def test_cheater_flagged_with_balanced_metric(self):
+        model = ComplaintTrustModel(metric_mode="balanced", tolerance_factor=2.0)
+        # Several victims complain about the same cheater; honest agents have
+        # at most one complaint against them.
+        for index in range(6):
+            model.file_complaint(f"victim-{index}", "cheater")
+        model.file_complaint("someone", "honest-a")
+        assessment = model.assess("cheater")
+        assert not assessment.trustworthy
+        assert model.assess("honest-a").trustworthy
+        assert model.trust("cheater") < model.trust("honest-a")
+
+    def test_product_metric_requires_filed_complaints(self):
+        model = ComplaintTrustModel(metric_mode="product")
+        for index in range(5):
+            model.file_complaint(f"victim-{index}", "cheater")
+        # The faithful product metric stays at zero until the cheater also
+        # files complaints (the original threat model assumes it does).
+        assert model.counts("cheater").metric == 0.0
+        model.file_complaint("cheater", "victim-0")
+        model.file_complaint("cheater", "victim-1")
+        assert model.metric(model.counts("cheater")) == pytest.approx(10.0)
+
+    def test_reference_metric_is_median(self):
+        model = ComplaintTrustModel(metric_mode="received")
+        model.file_complaint("a", "x")
+        model.file_complaint("b", "x")
+        model.file_complaint("c", "y")
+        # Agents known: a, b, c (0 received each), x (2), y (1) -> median 0.
+        assert model.reference_metric() == pytest.approx(0.0)
+
+    def test_trust_decreases_with_metric(self):
+        model = ComplaintTrustModel(metric_mode="received")
+        model.file_complaint("a", "bad")
+        trust_one = model.trust("bad")
+        model.file_complaint("b", "bad")
+        model.file_complaint("c", "bad")
+        trust_three = model.trust("bad")
+        assert trust_three < trust_one < 1.0
+
+    def test_assess_from_reports_uses_witness_aggregation(self):
+        model = ComplaintTrustModel(metric_mode="balanced", tolerance_factor=1.0)
+        assessment = model.assess_from_reports(
+            "remote-agent", reports=[(4, 1), (4, 1), (0, 0)]
+        )
+        assert assessment.counts.received == 4
+        assert not assessment.trustworthy
+
+    def test_trust_snapshot_covers_known_agents(self):
+        model = ComplaintTrustModel()
+        model.file_complaint("a", "b")
+        snapshot = model.trust_snapshot()
+        assert set(snapshot) == {"a", "b"}
+
+    def test_is_trustworthy_wrapper(self):
+        model = ComplaintTrustModel(metric_mode="balanced", tolerance_factor=1.0)
+        for index in range(4):
+            model.file_complaint(f"v{index}", "bad")
+        assert model.is_trustworthy("unknown")
+        assert not model.is_trustworthy("bad")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TrustModelError):
+            ComplaintTrustModel(tolerance_factor=0.0)
+        with pytest.raises(TrustModelError):
+            ComplaintTrustModel(trust_scale=0.0)
+        with pytest.raises(TrustModelError):
+            ComplaintTrustModel(metric_mode="bogus")

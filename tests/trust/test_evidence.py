@@ -1,0 +1,96 @@
+"""Unit tests for trust evidence primitives."""
+
+import pytest
+
+from repro.exceptions import TrustModelError
+from repro.trust.evidence import (
+    Complaint,
+    EvidenceLog,
+    InteractionOutcome,
+    Observation,
+)
+
+
+class TestObservation:
+    def test_honest_factory(self):
+        observation = Observation.honest("a", "b", timestamp=3.0, weight=2.0)
+        assert observation.is_honest
+        assert observation.outcome is InteractionOutcome.HONEST
+        assert observation.timestamp == 3.0
+        assert observation.weight == 2.0
+
+    def test_dishonest_factory(self):
+        observation = Observation.dishonest("a", "b")
+        assert not observation.is_honest
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(TrustModelError):
+            Observation.honest("", "b")
+        with pytest.raises(TrustModelError):
+            Observation.honest("a", "")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(TrustModelError):
+            Observation.honest("a", "b", weight=0.0)
+
+
+class TestComplaint:
+    def test_valid_complaint(self):
+        complaint = Complaint(complainant_id="a", accused_id="b", timestamp=1.0)
+        assert complaint.complainant_id == "a"
+        assert complaint.accused_id == "b"
+
+    def test_self_complaint_rejected(self):
+        with pytest.raises(TrustModelError):
+            Complaint(complainant_id="a", accused_id="a")
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(TrustModelError):
+            Complaint(complainant_id="", accused_id="b")
+
+
+class TestEvidenceLog:
+    def make_log(self):
+        log = EvidenceLog()
+        log.record(Observation.honest("me", "alice", timestamp=1.0))
+        log.record(Observation.dishonest("me", "alice", timestamp=2.0))
+        log.record(Observation.honest("me", "bob", timestamp=3.0))
+        log.record(Observation.honest("other", "alice", timestamp=4.0))
+        return log
+
+    def test_len_and_iter(self):
+        log = self.make_log()
+        assert len(log) == 4
+        assert len(list(log)) == 4
+
+    def test_about(self):
+        log = self.make_log()
+        about_alice = log.about("alice")
+        assert len(about_alice) == 3
+        assert all(obs.subject_id == "alice" for obs in about_alice)
+
+    def test_by(self):
+        log = self.make_log()
+        assert len(log.by("me")) == 3
+        assert len(log.by("other")) == 1
+
+    def test_subjects_in_first_seen_order(self):
+        log = self.make_log()
+        assert log.subjects() == ("alice", "bob")
+
+    def test_counts(self):
+        log = self.make_log()
+        assert log.counts("alice") == (2, 1)
+        assert log.counts("bob") == (1, 0)
+        assert log.counts("unknown") == (0, 0)
+
+    def test_since(self):
+        log = self.make_log()
+        assert len(log.since(3.0)) == 2
+
+    def test_extend(self):
+        log = EvidenceLog()
+        log.extend(
+            [Observation.honest("me", "x"), Observation.dishonest("me", "y")]
+        )
+        assert len(log) == 2
