@@ -1,0 +1,21 @@
+# Developer entry points.  Everything runs from the repo root with the
+# in-tree sources on PYTHONPATH (no install required).
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke
+
+test:
+	$(PY) -m pytest -x -q
+
+# Full benchmark/experiment suite: regenerates every table and figure under
+# benchmarks/results/.
+bench:
+	$(PY) -m pytest benchmarks -q
+
+# Cheap guard that every benchmark still runs: tiny parameters via
+# REPRO_BENCH_SMOKE, one pass, fail fast.  Keeps benchmarks from silently
+# rotting without paying the full measurement cost.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks -x -q

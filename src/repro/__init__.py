@@ -13,21 +13,44 @@ Most users only need the re-exports below; the subpackages are:
     Goods model, safety analysis, safe-exchange planner, trust-aware planner,
     decision making and price negotiation.
 ``repro.trust``
-    Trust learning: beta (Bayesian) and complaint-based models.
+    Trust learning.  The pluggable layer is
+    :mod:`repro.trust.backend` — a :class:`TrustBackend` interface with
+    batched numpy updates (``update_many``) and vectorized queries
+    (``scores_for``), three registered backends (``beta``, ``complaint``,
+    ``decay``) and a factory registry.  The scalar models
+    (:mod:`repro.trust.beta`, :mod:`repro.trust.complaint`) remain as the
+    behavioural references the backends are property-tested against.
 ``repro.reputation``
-    Reputation management: records, stores, reporting, manager façade.
+    Reputation management: records, stores, reporting, manager façade.  The
+    manager routes every trust read/write through the backend layer and
+    ingests evidence in batches (``record_many``).
 ``repro.pgrid``
     Decentralised binary-trie storage substrate for reputation data.
 ``repro.simulation``
     Discrete-event simulator: engine, network, peers, behaviours, community.
+    The community loop queues interaction outcomes per round and flushes
+    them to the trust backends in one batch per peer per tick.
 ``repro.marketplace``
     Listings, matching, exchange execution with defection, accounting.
 ``repro.baselines``
     Non-trust-aware exchange strategies used for comparison.
 ``repro.workloads``
-    Valuation, population and scenario generators.
+    Valuation, population and scenario generators, plus the scenario
+    registry (:mod:`repro.workloads.registry`) the CLI's
+    ``list-scenarios`` / ``run`` subcommands are driven by.
 ``repro.analysis``
     Statistics, table/series rendering and experiment helpers.
+
+Layering (arrows point at dependencies)::
+
+    cli ─> workloads(registry) ─> simulation ─> reputation ─> trust.backend
+     │           │                    │             │              │
+     │           └─> marketplace ─> core <──────────┘              │
+     └─> analysis                                     pgrid <── reputation.store
+
+``trust.backend`` is the narrow waist: every consumer above it reads and
+writes trust through the backend interface, never through the scalar model
+internals.
 """
 
 from repro.core import (

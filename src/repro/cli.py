@@ -1,13 +1,18 @@
 """Command-line interface for quick experiments.
 
-Three subcommands cover the common interactive uses of the library:
+Five subcommands cover the common interactive uses of the library:
 
 ``repro plan``
     Plan a trust-aware exchange for an ad-hoc bundle given on the command
     line and print the schedule plus the safety verification.
+``repro list-scenarios``
+    Print the scenario registry: every named workload with its summary and
+    tags, plus the available trust backends.
+``repro run``
+    Run any registered scenario with a chosen trust backend and exchange
+    strategy (``repro run --scenario high-churn --backend decay``).
 ``repro scenario``
-    Run one of the named community scenarios with a chosen exchange strategy
-    and print the outcome summary.
+    Legacy spelling of ``run`` (positional scenario name, beta backend).
 ``repro tolerance``
     Report how much combined tolerance (continuation value / accepted
     exposure) a bundle needs to become schedulable, and the repeated-game
@@ -40,9 +45,18 @@ from repro.core.trust_aware import plan_trust_aware_exchange
 from repro.core.safety import verify_sequence
 from repro.exceptions import ReproError
 from repro.marketplace import TrustAwareStrategy
-from repro.workloads import SCENARIO_NAMES, build_scenario
+from repro.reputation.manager import TrustMethod
+from repro.workloads import (
+    SCENARIO_NAMES,
+    build_registered_scenario,
+    build_scenario,
+    list_scenarios,
+    scenario_names,
+)
 
 __all__ = ["main", "build_parser"]
+
+BACKEND_CHOICES = TrustMethod.ALL
 
 STRATEGY_FACTORIES = {
     "trust-aware": TrustAwareStrategy,
@@ -70,6 +84,16 @@ def _parse_bundle(items: Sequence[str]) -> GoodsBundle:
     return GoodsBundle.from_pairs(pairs)
 
 
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--strategy", choices=sorted(STRATEGY_FACTORIES),
+                        default="trust-aware")
+    parser.add_argument("--size", type=int, default=16)
+    parser.add_argument("--rounds", type=int, default=25)
+    parser.add_argument("--dishonest", type=float, default=0.25,
+                        help="fraction of dishonest peers")
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -95,16 +119,25 @@ def build_parser() -> argparse.ArgumentParser:
                              help="expected-loss budget fraction of both parties")
 
     scenario_parser = subparsers.add_parser(
-        "scenario", help="run a named community scenario"
+        "scenario", help="run a named community scenario (legacy spelling of 'run')"
     )
     scenario_parser.add_argument("name", choices=SCENARIO_NAMES)
-    scenario_parser.add_argument("--strategy", choices=sorted(STRATEGY_FACTORIES),
-                                 default="trust-aware")
-    scenario_parser.add_argument("--size", type=int, default=16)
-    scenario_parser.add_argument("--rounds", type=int, default=25)
-    scenario_parser.add_argument("--dishonest", type=float, default=0.25,
-                                 help="fraction of dishonest peers")
-    scenario_parser.add_argument("--seed", type=int, default=0)
+    _add_run_options(scenario_parser)
+
+    list_parser = subparsers.add_parser(
+        "list-scenarios", help="print the scenario registry and trust backends"
+    )
+    list_parser.add_argument("--tag", default=None,
+                             help="only show scenarios carrying this tag")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a registered scenario with a chosen trust backend"
+    )
+    run_parser.add_argument("--scenario", required=True, choices=scenario_names())
+    run_parser.add_argument("--backend", choices=BACKEND_CHOICES,
+                            default=TrustMethod.BETA,
+                            help="trust backend every peer consults")
+    _add_run_options(run_parser)
 
     tolerance_parser = subparsers.add_parser(
         "tolerance",
@@ -146,6 +179,19 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0 if plan.agreed else 1
 
 
+def _print_result(scenario_name: str, backend: str, result) -> None:
+    print(f"Scenario:          {scenario_name}")
+    print(f"Backend:           {backend}")
+    print(f"Strategy:          {result.strategy_name}")
+    print(f"Attempted trades:  {result.accounts.attempted}")
+    print(f"Completed trades:  {result.accounts.completed}")
+    print(f"Declined trades:   {result.accounts.declined}")
+    print(f"Defections:        {result.accounts.defections}")
+    print(f"Completion rate:   {result.completion_rate:.3f}")
+    print(f"Honest welfare:    {result.honest_welfare():.1f}")
+    print(f"Honest losses:     {result.honest_losses():.1f}")
+
+
 def _command_scenario(args: argparse.Namespace) -> int:
     strategy = STRATEGY_FACTORIES[args.strategy]()
     scenario = build_scenario(
@@ -156,15 +202,38 @@ def _command_scenario(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     result = scenario.simulation(strategy).run()
-    print(f"Scenario:          {args.name}")
-    print(f"Strategy:          {result.strategy_name}")
-    print(f"Attempted trades:  {result.accounts.attempted}")
-    print(f"Completed trades:  {result.accounts.completed}")
-    print(f"Declined trades:   {result.accounts.declined}")
-    print(f"Defections:        {result.accounts.defections}")
-    print(f"Completion rate:   {result.completion_rate:.3f}")
-    print(f"Honest welfare:    {result.honest_welfare():.1f}")
-    print(f"Honest losses:     {result.honest_losses():.1f}")
+    _print_result(args.name, scenario.trust_method, result)
+    return 0
+
+
+def _command_list_scenarios(args: argparse.Namespace) -> int:
+    definitions = list_scenarios()
+    if args.tag is not None:
+        definitions = tuple(d for d in definitions if args.tag in d.tags)
+    if not definitions:
+        print(f"no scenarios tagged {args.tag!r}")
+        return 1
+    width = max(len(definition.name) for definition in definitions)
+    print(f"{len(definitions)} registered scenario(s):")
+    for definition in definitions:
+        tags = f"  [{', '.join(definition.tags)}]" if definition.tags else ""
+        print(f"  {definition.name:<{width}}  {definition.summary}{tags}")
+    print(f"trust backends: {', '.join(BACKEND_CHOICES)}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    strategy = STRATEGY_FACTORIES[args.strategy]()
+    scenario = build_registered_scenario(
+        args.scenario,
+        backend=args.backend,
+        size=args.size,
+        rounds=args.rounds,
+        dishonest_fraction=args.dishonest,
+        seed=args.seed,
+    )
+    result = scenario.simulation(strategy).run()
+    _print_result(args.scenario, args.backend, result)
     return 0
 
 
@@ -192,6 +261,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_plan(args)
         if args.command == "scenario":
             return _command_scenario(args)
+        if args.command == "list-scenarios":
+            return _command_list_scenarios(args)
+        if args.command == "run":
+            return _command_run(args)
         return _command_tolerance(args)
     except (ReproError, argparse.ArgumentTypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)

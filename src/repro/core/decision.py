@@ -30,7 +30,9 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import DecisionError
 
@@ -57,12 +59,45 @@ def _validate_inputs(trust: float, potential_gain: float) -> None:
         )
 
 
+def _validate_arrays(
+    trusts: Sequence[float], potential_gains: Sequence[float]
+) -> "tuple[np.ndarray, np.ndarray]":
+    trusts_array = np.asarray(trusts, dtype=np.float64)
+    gains_array = np.asarray(potential_gains, dtype=np.float64)
+    if trusts_array.shape != gains_array.shape:
+        raise DecisionError("trusts and potential_gains must have equal length")
+    if ((trusts_array < 0.0) | (trusts_array > 1.0)).any():
+        raise DecisionError("trust estimates must lie in [0, 1]")
+    if (gains_array < 0.0).any():
+        raise DecisionError("potential gains must be non-negative")
+    return trusts_array, gains_array
+
+
 class RiskPolicy(abc.ABC):
     """Maps (trust estimate, potential gain) to an accepted exposure."""
 
     @abc.abstractmethod
     def accepted_exposure(self, trust: float, potential_gain: float) -> float:
         """Largest partner temptation this party accepts to be exposed to."""
+
+    def accepted_exposures(
+        self, trusts: Sequence[float], potential_gains: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorized accepted exposures for batches of candidate exchanges.
+
+        The default falls back to one scalar call per element; policies with
+        closed forms override it with a pure numpy implementation.  Used by
+        the batched trust-backend data path to assess many candidate
+        partners in one pass.
+        """
+        return np.fromiter(
+            (
+                self.accepted_exposure(float(trust), float(gain))
+                for trust, gain in zip(trusts, potential_gains)
+            ),
+            dtype=np.float64,
+            count=len(trusts),
+        )
 
     def describe(self) -> str:
         """Short human readable name used in experiment output."""
@@ -96,6 +131,12 @@ class FractionalGainPolicy(RiskPolicy):
     def accepted_exposure(self, trust: float, potential_gain: float) -> float:
         _validate_inputs(trust, potential_gain)
         return self.fraction * trust * potential_gain
+
+    def accepted_exposures(
+        self, trusts: Sequence[float], potential_gains: Sequence[float]
+    ) -> np.ndarray:
+        trusts_array, gains_array = _validate_arrays(trusts, potential_gains)
+        return self.fraction * trusts_array * gains_array
 
     def describe(self) -> str:
         return f"fractional(fraction={self.fraction})"
@@ -140,6 +181,19 @@ class ExpectedLossBudgetPolicy(RiskPolicy):
             # arithmetic well behaved.
             exposure = 1e12
         return exposure
+
+    def accepted_exposures(
+        self, trusts: Sequence[float], potential_gains: Sequence[float]
+    ) -> np.ndarray:
+        trusts_array, gains_array = _validate_arrays(trusts, potential_gains)
+        budgets = self.budget_fraction * gains_array
+        with np.errstate(divide="ignore", invalid="ignore"):
+            exposures = np.where(
+                trusts_array >= 1.0, np.inf, budgets / (1.0 - trusts_array)
+            )
+        if self.absolute_cap is not None:
+            exposures = np.minimum(exposures, self.absolute_cap)
+        return np.where(np.isinf(exposures), 1e12, exposures)
 
     def describe(self) -> str:
         return (
@@ -292,6 +346,17 @@ class DecisionMaker:
         return ExposureAssessment(
             trust=trust, potential_gain=potential_gain, accepted_exposure=exposure
         )
+
+    def assess_many(
+        self, trusts: Sequence[float], potential_gains: Sequence[float]
+    ) -> np.ndarray:
+        """Vector of accepted exposures for a batch of candidate exchanges.
+
+        The batched counterpart of :meth:`assess`, used with trust-score
+        vectors read from a :class:`~repro.trust.backend.TrustBackend` to
+        screen many prospective partners in one pass.
+        """
+        return self.risk_policy.accepted_exposures(trusts, potential_gains)
 
     def decide(
         self,

@@ -15,8 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.exceptions import ReputationError
-from repro.trust.aggregation import WitnessReport, combine_beta_evidence
-from repro.trust.beta import BetaBelief, BetaTrustModel
+from repro.trust import BetaBelief, BetaTrustModel, WitnessReport, combine_beta_evidence
 
 __all__ = ["WitnessPool", "collect_witness_reports", "indirect_belief"]
 
@@ -97,13 +96,18 @@ def collect_witness_reports(
 
 def indirect_belief(
     subject_id: str,
-    own_model: BetaTrustModel,
+    own_model,
     pool: WitnessPool,
     witness_trusts: Optional[Mapping[str, float]] = None,
     exclude: Optional[Iterable[str]] = None,
     rng: Optional[random.Random] = None,
 ) -> BetaBelief:
-    """First-hand belief augmented with discounted witness evidence."""
+    """First-hand belief augmented with discounted witness evidence.
+
+    ``own_model`` is anything exposing ``belief(subject_id) -> BetaBelief`` —
+    a scalar :class:`BetaTrustModel` or one of the beta-family trust backends
+    from :mod:`repro.trust.backend`.
+    """
     direct = own_model.belief(subject_id)
     reports = collect_witness_reports(
         subject_id, pool, witness_trusts=witness_trusts, exclude=exclude, rng=rng

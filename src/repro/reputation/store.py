@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.exceptions import ReputationError, TrustModelError
 from repro.pgrid.network import PGridNetwork
 from repro.reputation.records import InteractionRecord, Rating
-from repro.trust.evidence import Complaint
+from repro.trust import Complaint, ComplaintTrustBackend
 
 __all__ = ["LocalReputationStore", "DistributedReputationStore"]
 
@@ -99,6 +99,29 @@ class LocalReputationStore:
                 if agent_id not in agents:
                     agents.append(agent_id)
         return agents
+
+    def all_complaints(self) -> Sequence[Complaint]:
+        """Every stored complaint (lets caching layers recount in one pass)."""
+        return tuple(self._complaints)
+
+    def __len__(self) -> int:
+        """Total stored evidence items — the change-tracking version stamp.
+
+        Counts ratings and interaction records too, not just complaints:
+        they extend :meth:`known_agents`, which feeds the complaint
+        backend's community reference metric, so any of these writes must
+        advance the stamp for caches to notice.
+        """
+        return len(self._complaints) + len(self._ratings) + len(self._records)
+
+    def trust_backend(self, **params) -> ComplaintTrustBackend:
+        """A complaint trust backend reading from / writing through this store.
+
+        All trust computation over the store's complaint data goes through
+        the returned :class:`~repro.trust.backend.ComplaintTrustBackend`;
+        the store itself only persists evidence.
+        """
+        return ComplaintTrustBackend(store=self, **params)
 
 
 class DistributedReputationStore:
@@ -191,6 +214,17 @@ class DistributedReputationStore:
 
     def known_agents(self) -> Sequence[str]:
         return list(self._known_agents)
+
+    def trust_backend(self, **params) -> ComplaintTrustBackend:
+        """A complaint trust backend over the distributed complaint data.
+
+        The distributed store cannot be change-tracked cheaply (writes land
+        on remote replicas), so the returned backend re-counts complaints
+        through ordinary P-Grid queries on every scoring call — the same
+        cost profile as the scalar model it replaces, with the batched
+        scoring interface on top.
+        """
+        return ComplaintTrustBackend(store=self, **params)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -9,6 +9,14 @@ the reputation layer — the full loop of the paper's Figure 1.
 The result object carries per-round and aggregate accounts (completion rate,
 welfare, defection losses) plus the data needed to evaluate the trust models
 against the peers' ground-truth honesty.
+
+Trust evidence follows the batched backend data path: outcomes observed
+during a round are queued and flushed to the peers' trust backends in one
+``update_many`` batch per peer at the end of the round (the simulation's
+tick), instead of one callback per interaction.  Decisions within a round
+therefore see the trust state as of the end of the previous round, which
+matches the distributed reality the paper models — reputation data propagates
+between interactions, not within one.
 """
 
 from __future__ import annotations
@@ -196,12 +204,14 @@ class CommunitySimulation:
             matches = self._build_matches(round_index)
             if self._config.max_trades_per_round is not None:
                 matches = matches[: self._config.max_trades_per_round]
+            round_outcomes: List[ExchangeOutcome] = []
             for consumer_id, listing in matches:
                 outcome = self._execute_match(
                     consumer_id, listing, timestamp, round_index
                 )
                 if outcome is None:
                     continue
+                round_outcomes.append(outcome)
                 if outcome.scheduled and outcome.result is not None:
                     round_accounts.record_executed(outcome.result)
                     ledger.record(
@@ -214,6 +224,7 @@ class CommunitySimulation:
                     round_accounts.record_declined()
                 if collect_outcomes:
                     outcomes.append(outcome)
+            self._flush_observations(round_outcomes, timestamp)
             total_accounts = total_accounts.merge(round_accounts)
             round_stats.append(
                 RoundStats(
@@ -271,9 +282,21 @@ class CommunitySimulation:
         rng = self._streams("matching")
         if self._config.matching == "trust":
             now = float(round_index)
+            supplier_ids = sorted({listing.supplier_id for listing in listings})
+            # One vectorized backend read per consumer instead of one scalar
+            # trust lookup per (consumer, listing) pair.
+            cached: Dict[str, Dict[str, float]] = {}
+            for consumer_id in consumer_ids:
+                scores = self.peer_by_id(consumer_id).trust_in_many(
+                    supplier_ids, now=now
+                )
+                cached[consumer_id] = {
+                    supplier_id: float(score)
+                    for supplier_id, score in zip(supplier_ids, scores)
+                }
 
             def trust_of(consumer_id: str, supplier_id: str) -> float:
-                return self.peer_by_id(consumer_id).trust_in(supplier_id, now=now)
+                return cached[consumer_id][supplier_id]
 
             return trust_weighted_matching(consumer_ids, listings, trust_of, rng)
         return random_matching(consumer_ids, listings, rng)
@@ -318,18 +341,40 @@ class CommunitySimulation:
             rng=self._streams("execution"),
             timestamp=timestamp,
         )
-        if outcome.record is not None:
-            supplier.observe_outcome(outcome.record)
-            consumer.observe_outcome(outcome.record)
+        return outcome
+
+    def _flush_observations(
+        self, round_outcomes: List[ExchangeOutcome], timestamp: float
+    ) -> None:
+        """Flush the round's queued evidence to the trust backends in batches.
+
+        Each participant receives its records in one ``record_many`` call
+        (one vectorized ``update_many`` per backend); the false-complaint
+        pass then replays the outcomes in execution order so the complaint
+        RNG stream stays deterministic.
+        """
+        per_peer: Dict[str, List] = {}
+        for outcome in round_outcomes:
+            if outcome.record is None:
+                continue
+            per_peer.setdefault(outcome.supplier_id, []).append(outcome.record)
+            per_peer.setdefault(outcome.consumer_id, []).append(outcome.record)
+        for peer_id, records in per_peer.items():
+            self.peer_by_id(peer_id).observe_outcomes(records)
+        complaint_rng = self._streams("complaints")
+        for outcome in round_outcomes:
+            record = outcome.record
+            if record is None:
+                continue
+            supplier = self.peer_by_id(outcome.supplier_id)
+            consumer = self.peer_by_id(outcome.consumer_id)
             # Malicious peers may additionally pollute the complaint store
             # after interactions in which the partner did not defect.
-            complaint_rng = self._streams("complaints")
-            if outcome.record.consumer_honest:
+            if record.consumer_honest:
                 supplier.maybe_file_false_complaint(
                     consumer.peer_id, complaint_rng, timestamp
                 )
-            if outcome.record.supplier_honest:
+            if record.supplier_honest:
                 consumer.maybe_file_false_complaint(
                     supplier.peer_id, complaint_rng, timestamp
                 )
-        return outcome

@@ -126,6 +126,14 @@ class SimulationEngine:
     ) -> int:
         """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
+        Events scheduled *exactly at* ``until`` execute (the horizon is
+        inclusive), in the deterministic ``(time, priority, insertion)``
+        order documented in :mod:`repro.simulation.events` — including events
+        that horizon-time callbacks schedule at the horizon itself.  After
+        the call the clock stands at ``until`` (when given and ahead of the
+        clock) even if the queue drained earlier, so back-to-back bounded
+        runs always resume from the horizon.
+
         Returns the number of events processed by this call.
         """
         if self._running:
@@ -133,21 +141,41 @@ class SimulationEngine:
         self._running = True
         processed_before = self._processed
         try:
+            reached_horizon = True
             while True:
                 if max_events is not None and (
                     self._processed - processed_before
                 ) >= max_events:
+                    # Stopped mid-tick: events before the horizon may remain,
+                    # so the clock must not jump past them.
+                    reached_horizon = False
                     break
                 next_time = self._queue.peek_time()
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
-                    self._now = until
                     break
                 self.step()
+            if reached_horizon and until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
         return self._processed - processed_before
+
+    def run_until(self, horizon: float, max_events: Optional[int] = None) -> int:
+        """Run every event with ``time <= horizon`` and stop the clock there.
+
+        The explicit horizon API used by tick-driven drivers: events landing
+        exactly on the horizon are part of the tick and execute
+        deterministically (tie-broken by priority, then insertion order);
+        events strictly after it stay queued.  Unlike :meth:`run`, a horizon
+        behind the current clock is an error rather than a silent no-op.
+        """
+        if horizon < self._now:
+            raise SimulationError(
+                f"horizon {horizon} lies in the past (now={self._now})"
+            )
+        return self.run(until=horizon, max_events=max_events)
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""

@@ -1,4 +1,22 @@
-"""Event primitives of the discrete-event simulator."""
+"""Event primitives of the discrete-event simulator.
+
+Ordering contract (what makes runs reproducible):
+
+1. Events execute in non-decreasing ``time``.
+2. Events at the *same* time execute in ascending ``priority`` (lower runs
+   first; the default is ``0``).
+3. Events at the same time and priority execute in insertion order (a
+   monotonically increasing sequence number assigned by the queue).
+
+The contract extends to horizon boundaries: when the engine runs with a
+bound (``run(until=h)`` / ``run_until(h)``), events scheduled *exactly at*
+``h`` belong to the bounded run and fire under the same three rules —
+including events that an ``h``-time callback schedules at ``h`` itself.
+Only events strictly after the horizon stay queued.  Equal floating-point
+times compare exactly (no epsilon), so two events land on the same tick only
+when their ``time`` values are bit-identical; anything else is ordered by
+rule 1.
+"""
 
 from __future__ import annotations
 

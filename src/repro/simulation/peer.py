@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.reputation.manager import ReputationManager, TrustMethod
 from repro.reputation.records import InteractionRecord
 from repro.simulation.behaviors import BehaviorModel, HonestBehavior
-from repro.trust.complaint import ComplaintStore
+from repro.trust import ComplaintStore
 
 __all__ = ["CommunityPeer"]
 
@@ -39,6 +41,10 @@ class CommunityPeer:
             raise SimulationError("peer_id must be non-empty")
         if defection_penalty < 0:
             raise SimulationError("defection_penalty must be >= 0")
+        if trust_method not in TrustMethod.ALL:
+            raise SimulationError(
+                f"trust_method must be one of {TrustMethod.ALL}, got {trust_method!r}"
+            )
         self.peer_id = peer_id
         self.behavior: BehaviorModel = behavior if behavior is not None else HonestBehavior()
         self.reputation = ReputationManager(
@@ -63,9 +69,21 @@ class CommunityPeer:
             partner_id, method=self.trust_method, now=now
         )
 
+    def trust_in_many(
+        self, partner_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        """Vectorized trust estimates for a batch of prospective partners."""
+        return self.reputation.trust_scores(
+            partner_ids, method=self.trust_method, now=now
+        )
+
     def observe_outcome(self, record: InteractionRecord) -> None:
         """Feed an interaction outcome back into the peer's reputation state."""
         self.reputation.record_interaction(record)
+
+    def observe_outcomes(self, records: Sequence[InteractionRecord]) -> None:
+        """Feed a batch of outcomes back in one backend flush per backend."""
+        self.reputation.record_many(records)
 
     def maybe_file_false_complaint(
         self, partner_id: str, rng: random.Random, timestamp: float = 0.0
@@ -81,9 +99,7 @@ class CommunityPeer:
             return False
         if rng.random() >= probability:
             return False
-        self.reputation.complaint_model.file_complaint(
-            complainant_id=self.peer_id, accused_id=partner_id, timestamp=timestamp
-        )
+        self.reputation.file_complaint(partner_id, timestamp=timestamp)
         return True
 
     @property

@@ -1,14 +1,31 @@
 """Trust learning: predicting partner behaviour from reputation evidence.
 
-Two concrete models are provided, matching the two references the paper
-points to for its assumed trust computation module:
+Two scalar reference models are provided, matching the two references the
+paper points to for its assumed trust computation module:
 
 * :class:`~repro.trust.beta.BetaTrustModel` — the Bayesian (beta-Bernoulli)
   model in the spirit of Mui et al. (HICSS 2002), and
 * :class:`~repro.trust.complaint.ComplaintTrustModel` — the complaint-based
   P2P model of Aberer & Despotovic (CIKM 2001).
+
+Production consumers go through the pluggable, vectorized
+:class:`~repro.trust.backend.TrustBackend` layer instead (``beta``,
+``complaint`` and ``decay`` backends with batched numpy updates); the scalar
+models remain as the behavioural reference the backends are tested against.
 """
 
+from repro.trust.backend import (
+    BACKEND_NAMES,
+    BetaTrustBackend,
+    ComplaintTrustBackend,
+    DecayTrustBackend,
+    ScalarBetaBackendAdapter,
+    TrustBackend,
+    TrustObservation,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 from repro.trust.aggregation import (
     WitnessReport,
     combine_beta_evidence,
@@ -40,6 +57,17 @@ from repro.trust.metrics import (
 )
 
 __all__ = [
+    # backend layer
+    "TrustBackend",
+    "TrustObservation",
+    "BetaTrustBackend",
+    "ComplaintTrustBackend",
+    "DecayTrustBackend",
+    "ScalarBetaBackendAdapter",
+    "BACKEND_NAMES",
+    "register_backend",
+    "create_backend",
+    "backend_names",
     # evidence
     "InteractionOutcome",
     "Observation",

@@ -1,0 +1,770 @@
+"""Pluggable trust backends: one batched data path for all trust computation.
+
+The paper's reference model (Figure 1) feeds interaction outcomes and witness
+reports into a *trust computation* module whose estimates the decision layer
+consumes.  Historically every consumer of this library hand-wired one of the
+scalar models (:class:`~repro.trust.beta.BetaTrustModel`,
+:class:`~repro.trust.complaint.ComplaintTrustModel`) and pushed evidence in
+one observation at a time.  This module unifies the three trust computation
+schemes behind a single :class:`TrustBackend` interface with **batch**
+methods:
+
+* :meth:`TrustBackend.update_many` ingests a whole batch of
+  :class:`TrustObservation` records at once, and
+* :meth:`TrustBackend.scores_for` answers a whole batch of trust queries as a
+  numpy vector,
+
+both backed by contiguous numpy arrays indexed through an interned peer-id
+table instead of per-peer dict-of-list lookups.  The simulation layer queues
+observations during a tick and flushes them in one ``update_many`` call; the
+decision layer reads whole score vectors for candidate partners.
+
+Three backends are provided and discoverable through a small registry
+(mirroring the scenario registry in :mod:`repro.workloads.registry`):
+
+``beta``
+    Bayesian beta-Bernoulli posterior per subject (Mui et al., HICSS 2002) —
+    the vectorized equivalent of :class:`~repro.trust.beta.BetaTrustModel`
+    without decay.
+``complaint``
+    The complaint-based P-Grid scheme of Aberer & Despotovic (CIKM 2001):
+    complaints received × complaints filed against a community median
+    reference.  Implements the :class:`~repro.trust.complaint.ComplaintStore`
+    protocol so it can *be* the community's shared complaint store (the fast
+    path) or wrap an existing store (compatibility path).
+``decay``
+    Exponentially decay-weighted beta evidence with O(1) online updates.
+    Mathematically identical to ``BetaTrustModel`` with
+    :class:`~repro.trust.decay.ExponentialDecay`, but it maintains running
+    decayed sums instead of rescanning the observation log at query time.
+
+Every backend agrees with its scalar reference implementation on identical
+observation streams (see ``tests/trust/test_backend.py``), which is the
+regression guard for this refactor.  One deliberate exception: the ``decay``
+backend queried with ``now=None`` evaluates at its newest-evidence reference
+time, whereas the scalar model ignored its decay model entirely when no
+query time was supplied — always-decaying is the behaviour a decay model is
+configured for; pass an explicit ``now`` where the distinction matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrustModelError
+from repro.trust.beta import BetaBelief, BetaTrustModel
+from repro.trust.complaint import ComplaintStore, LocalComplaintStore
+from repro.trust.evidence import Complaint, Observation
+
+__all__ = [
+    "TrustObservation",
+    "TrustBackend",
+    "BetaTrustBackend",
+    "DecayTrustBackend",
+    "ComplaintTrustBackend",
+    "ScalarBetaBackendAdapter",
+    "BACKEND_NAMES",
+    "register_backend",
+    "create_backend",
+    "backend_names",
+]
+
+
+@dataclass(frozen=True)
+class TrustObservation:
+    """One unit of trust evidence, consumable by every backend.
+
+    Attributes
+    ----------
+    observer_id:
+        Peer that made the observation (the complainant for complaint-style
+        evidence).
+    subject_id:
+        Peer whose behaviour was observed.
+    honest:
+        Whether the subject behaved honestly.
+    timestamp:
+        Simulation time of the interaction (used by decaying backends).
+    weight:
+        Importance of the observation, e.g. the value at stake.
+    files_complaint:
+        Whether the observer files a complaint about the subject.  ``None``
+        (the default) means "file exactly when the subject was dishonest";
+        an explicit ``True`` with ``honest=True`` models the spurious
+        complaints malicious peers use to pollute the complaint system.
+    """
+
+    observer_id: str
+    subject_id: str
+    honest: bool
+    timestamp: float = 0.0
+    weight: float = 1.0
+    files_complaint: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not self.observer_id or not self.subject_id:
+            raise TrustModelError("observer_id and subject_id must be non-empty")
+        if self.weight <= 0:
+            raise TrustModelError(f"weight must be positive, got {self.weight}")
+
+    @property
+    def complaint_filed(self) -> bool:
+        """Whether this observation carries a complaint."""
+        if self.files_complaint is not None:
+            return self.files_complaint
+        return not self.honest
+
+    @classmethod
+    def from_observation(cls, observation: Observation) -> "TrustObservation":
+        """Convert a legacy :class:`~repro.trust.evidence.Observation`."""
+        return cls(
+            observer_id=observation.observer_id,
+            subject_id=observation.subject_id,
+            honest=observation.is_honest,
+            timestamp=observation.timestamp,
+            weight=observation.weight,
+        )
+
+
+class _PeerIndex:
+    """Interns peer-id strings to dense integer indices."""
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def intern(self, name: str) -> int:
+        index = self._ids.get(name)
+        if index is None:
+            index = len(self._names)
+            self._ids[name] = index
+            self._names.append(name)
+        return index
+
+    def get(self, name: str) -> Optional[int]:
+        return self._ids.get(name)
+
+    def name(self, index: int) -> str:
+        return self._names[index]
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._names)
+
+
+def _grow(array: np.ndarray, size: int) -> np.ndarray:
+    """Return ``array`` grown (amortised doubling) to hold ``size`` entries."""
+    if size <= len(array):
+        return array
+    capacity = max(8, len(array))
+    while capacity < size:
+        capacity *= 2
+    grown = np.zeros(capacity, dtype=array.dtype)
+    grown[: len(array)] = array
+    return grown
+
+
+class TrustBackend:
+    """Interface all trust backends implement (the pluggable layer).
+
+    Scalar convenience methods (:meth:`update`, :meth:`score`) are expressed
+    in terms of the batch methods, so a backend only has to implement the
+    vectorized path.
+    """
+
+    #: Registry name of the backend.
+    name: str = "backend"
+
+    # -- writes ---------------------------------------------------------
+    def update(self, observation: TrustObservation) -> None:
+        """Ingest a single observation (delegates to :meth:`update_many`)."""
+        self.update_many((observation,))
+
+    def update_many(self, observations: Sequence[TrustObservation]) -> None:
+        """Ingest a batch of observations in one vectorized pass."""
+        raise NotImplementedError
+
+    # -- reads ----------------------------------------------------------
+    def score(self, subject_id: str, now: Optional[float] = None) -> float:
+        """Trust estimate in ``[0, 1]`` for one subject."""
+        return float(self.scores_for((subject_id,), now=now)[0])
+
+    def scores_for(
+        self, subject_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        """Vector of trust estimates, aligned with ``subject_ids``."""
+        raise NotImplementedError
+
+    def known_subjects(self) -> Tuple[str, ...]:
+        """Subjects the backend holds evidence about."""
+        raise NotImplementedError
+
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
+        """Trust estimates for every known subject."""
+        subjects = self.known_subjects()
+        if not subjects:
+            return {}
+        scores = self.scores_for(subjects, now=now)
+        return {subject: float(score) for subject, score in zip(subjects, scores)}
+
+    def describe(self) -> str:
+        return self.name
+
+
+class BetaTrustBackend(TrustBackend):
+    """Vectorized beta-Bernoulli trust (no decay).
+
+    Maintains per-subject evidence pseudo-counts in two contiguous float
+    arrays; the posterior mean ``(prior_alpha + a) / (prior + a + b)`` is the
+    trust estimate.  Equivalent to
+    :class:`~repro.trust.beta.BetaTrustModel` without a decay model, but
+    updates and queries are O(batch) numpy operations instead of per-peer
+    list appends and rescans.
+    """
+
+    name = "beta"
+
+    def __init__(self, prior_alpha: float = 1.0, prior_beta: float = 1.0):
+        if prior_alpha <= 0 or prior_beta <= 0:
+            raise TrustModelError("priors must be positive")
+        self._prior_alpha = prior_alpha
+        self._prior_beta = prior_beta
+        self._index = _PeerIndex()
+        self._alpha = np.zeros(0)
+        self._beta = np.zeros(0)
+        self._count = np.zeros(0, dtype=np.int64)
+
+    @property
+    def prior(self) -> BetaBelief:
+        return BetaBelief(self._prior_alpha, self._prior_beta)
+
+    def _ensure_capacity(self) -> None:
+        size = len(self._index)
+        self._alpha = _grow(self._alpha, size)
+        self._beta = _grow(self._beta, size)
+        self._count = _grow(self._count, size)
+
+    def update_many(self, observations: Sequence[TrustObservation]) -> None:
+        if not observations:
+            return
+        intern = self._index.intern
+        idx = np.fromiter(
+            (intern(o.subject_id) for o in observations),
+            dtype=np.int64,
+            count=len(observations),
+        )
+        self._ensure_capacity()
+        weights = np.fromiter(
+            (o.weight for o in observations), dtype=np.float64, count=len(observations)
+        )
+        honest = np.fromiter(
+            (o.honest for o in observations), dtype=bool, count=len(observations)
+        )
+        np.add.at(self._alpha, idx[honest], weights[honest])
+        np.add.at(self._beta, idx[~honest], weights[~honest])
+        np.add.at(self._count, idx, 1)
+
+    def scores_for(
+        self, subject_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        get = self._index.get
+        rows = np.fromiter(
+            (-1 if (i := get(s)) is None else i for s in subject_ids),
+            dtype=np.int64,
+            count=len(subject_ids),
+        )
+        alpha = np.full(len(rows), self._prior_alpha)
+        beta = np.full(len(rows), self._prior_beta)
+        known = rows >= 0
+        alpha[known] += self._alpha[rows[known]]
+        beta[known] += self._beta[rows[known]]
+        return alpha / (alpha + beta)
+
+    def belief(self, subject_id: str, now: Optional[float] = None) -> BetaBelief:
+        """Posterior :class:`BetaBelief` (prior when the subject is unknown)."""
+        row = self._index.get(subject_id)
+        if row is None:
+            return self.prior
+        return BetaBelief(
+            self._prior_alpha + float(self._alpha[row]),
+            self._prior_beta + float(self._beta[row]),
+        )
+
+    def trust(self, subject_id: str, now: Optional[float] = None) -> float:
+        """Scalar-model-compatible alias of :meth:`score`."""
+        return self.score(subject_id, now=now)
+
+    def observation_count(self, subject_id: str) -> int:
+        row = self._index.get(subject_id)
+        return 0 if row is None else int(self._count[row])
+
+    def known_subjects(self) -> Tuple[str, ...]:
+        return self._index.names()
+
+
+class DecayTrustBackend(TrustBackend):
+    """Beta trust with exponential evidence decay, updated online in O(1).
+
+    Keeps, per subject, the honest/dishonest evidence sums *normalised at the
+    newest observation's timestamp* (the subject's reference time).  Because
+    exponential decay is multiplicative, the accumulators can be renormalised
+    incrementally — no observation log and no rescan.  Scoring at ``now``
+    applies one further decay factor ``0.5 ** ((now - ref) / half_life)``.
+
+    Equivalent to ``BetaTrustModel(decay=ExponentialDecay(half_life))``
+    queried at any ``now >= ref``; scoring with ``now=None`` evaluates at the
+    reference time (the newest evidence).
+    """
+
+    name = "decay"
+
+    def __init__(
+        self,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+        half_life: float = 100.0,
+    ):
+        if prior_alpha <= 0 or prior_beta <= 0:
+            raise TrustModelError("priors must be positive")
+        if half_life <= 0:
+            raise TrustModelError(f"half_life must be > 0, got {half_life}")
+        self._prior_alpha = prior_alpha
+        self._prior_beta = prior_beta
+        self._half_life = half_life
+        self._index = _PeerIndex()
+        self._alpha = np.zeros(0)
+        self._beta = np.zeros(0)
+        self._ref = np.zeros(0)
+        self._count = np.zeros(0, dtype=np.int64)
+
+    @property
+    def half_life(self) -> float:
+        return self._half_life
+
+    def _ensure_capacity(self) -> None:
+        size = len(self._index)
+        self._alpha = _grow(self._alpha, size)
+        self._beta = _grow(self._beta, size)
+        self._ref = _grow(self._ref, size)
+        self._count = _grow(self._count, size)
+
+    def update_many(self, observations: Sequence[TrustObservation]) -> None:
+        if not observations:
+            return
+        intern = self._index.intern
+        n = len(observations)
+        idx = np.fromiter(
+            (intern(o.subject_id) for o in observations), dtype=np.int64, count=n
+        )
+        self._ensure_capacity()
+        weights = np.fromiter((o.weight for o in observations), dtype=np.float64, count=n)
+        times = np.fromiter(
+            (o.timestamp for o in observations), dtype=np.float64, count=n
+        )
+        honest = np.fromiter((o.honest for o in observations), dtype=bool, count=n)
+
+        # Advance each touched subject's reference time to the newest
+        # timestamp seen, renormalising the existing accumulators, then add
+        # every observation decayed from its own timestamp to the new
+        # reference.  The result is order-independent, so the whole batch
+        # vectorizes.
+        touched = np.unique(idx)
+        old_ref = self._ref[touched].copy()
+        np.maximum.at(self._ref, idx, times)
+        factor = np.power(0.5, (self._ref[touched] - old_ref) / self._half_life)
+        self._alpha[touched] *= factor
+        self._beta[touched] *= factor
+        contribution = weights * np.power(
+            0.5, (self._ref[idx] - times) / self._half_life
+        )
+        np.add.at(self._alpha, idx[honest], contribution[honest])
+        np.add.at(self._beta, idx[~honest], contribution[~honest])
+        np.add.at(self._count, idx, 1)
+
+    def _decay_to(self, rows: np.ndarray, now: Optional[float]) -> np.ndarray:
+        if now is None:
+            return np.ones(len(rows))
+        age = np.maximum(0.0, now - self._ref[rows])
+        return np.power(0.5, age / self._half_life)
+
+    def scores_for(
+        self, subject_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        get = self._index.get
+        rows = np.fromiter(
+            (-1 if (i := get(s)) is None else i for s in subject_ids),
+            dtype=np.int64,
+            count=len(subject_ids),
+        )
+        alpha = np.full(len(rows), self._prior_alpha)
+        beta = np.full(len(rows), self._prior_beta)
+        known = rows >= 0
+        if known.any():
+            factor = self._decay_to(rows[known], now)
+            alpha[known] += self._alpha[rows[known]] * factor
+            beta[known] += self._beta[rows[known]] * factor
+        return alpha / (alpha + beta)
+
+    def belief(self, subject_id: str, now: Optional[float] = None) -> BetaBelief:
+        row = self._index.get(subject_id)
+        if row is None:
+            return BetaBelief(self._prior_alpha, self._prior_beta)
+        factor = float(self._decay_to(np.array([row]), now)[0])
+        return BetaBelief(
+            self._prior_alpha + float(self._alpha[row]) * factor,
+            self._prior_beta + float(self._beta[row]) * factor,
+        )
+
+    def trust(self, subject_id: str, now: Optional[float] = None) -> float:
+        return self.score(subject_id, now=now)
+
+    def observation_count(self, subject_id: str) -> int:
+        row = self._index.get(subject_id)
+        return 0 if row is None else int(self._count[row])
+
+    def known_subjects(self) -> Tuple[str, ...]:
+        return self._index.names()
+
+
+class ComplaintTrustBackend(TrustBackend):
+    """Vectorized complaint-based trust (Aberer & Despotovic, CIKM 2001).
+
+    Maintains per-agent complaints-received / complaints-filed counters in
+    numpy arrays and maps the configured decision metric to a ``[0, 1]``
+    trust value exactly like
+    :class:`~repro.trust.complaint.ComplaintTrustModel` (exponential decay
+    around the community median reference).
+
+    The backend implements the :class:`ComplaintStore` protocol, so it can be
+    shared directly as a community's complaint store — the fast path, where
+    every write updates the counters incrementally.  When constructed around
+    an *existing* store it acts as a consistent cache: sized stores (those
+    with ``__len__``) are change-tracked and the counters are rebuilt only
+    when another writer touched the store; unsized stores (e.g. the
+    P-Grid-backed distributed store) are re-counted on every scoring query,
+    which matches the cost of the scalar model it replaces.
+    """
+
+    name = "complaint"
+
+    METRIC_MODES = ("product", "received", "balanced")
+
+    def __init__(
+        self,
+        store: Optional[ComplaintStore] = None,
+        tolerance_factor: float = 4.0,
+        trust_scale: float = 3.0,
+        metric_mode: str = "product",
+    ):
+        if tolerance_factor <= 0:
+            raise TrustModelError(
+                f"tolerance_factor must be > 0, got {tolerance_factor}"
+            )
+        if trust_scale <= 0:
+            raise TrustModelError(f"trust_scale must be > 0, got {trust_scale}")
+        if metric_mode not in self.METRIC_MODES:
+            raise TrustModelError(
+                f"metric_mode must be one of {self.METRIC_MODES}, got {metric_mode!r}"
+            )
+        self._store: ComplaintStore = store if store is not None else LocalComplaintStore()
+        self._tolerance_factor = tolerance_factor
+        self._trust_scale = trust_scale
+        self._metric_mode = metric_mode
+        self._index = _PeerIndex()
+        self._received = np.zeros(0)
+        self._filed = np.zeros(0)
+        self._in_store = np.zeros(0, dtype=bool)
+        self._sized = hasattr(self._store, "__len__")
+        self._synced_len = 0 if self._sized else None
+        if self._sized and len(self._store) > 0:  # type: ignore[arg-type]
+            self._synced_len = -1  # force initial rebuild
+
+    # -- configuration ---------------------------------------------------
+    @property
+    def tolerance_factor(self) -> float:
+        return self._tolerance_factor
+
+    @property
+    def metric_mode(self) -> str:
+        return self._metric_mode
+
+    # -- ComplaintStore protocol -----------------------------------------
+    def file_complaint(self, complaint: Complaint) -> None:
+        self._ingest((complaint,))
+
+    def complaints_about(self, agent_id: str) -> Sequence[Complaint]:
+        return self._store.complaints_about(agent_id)
+
+    def complaints_by(self, agent_id: str) -> Sequence[Complaint]:
+        return self._store.complaints_by(agent_id)
+
+    def known_agents(self) -> Sequence[str]:
+        return self._store.known_agents()
+
+    def __len__(self) -> int:
+        if self._sized:
+            return len(self._store)  # type: ignore[arg-type]
+        return len(self._store.known_agents())
+
+    # -- writes ----------------------------------------------------------
+    def update_many(self, observations: Sequence[TrustObservation]) -> None:
+        complaints = [
+            Complaint(
+                complainant_id=o.observer_id,
+                accused_id=o.subject_id,
+                timestamp=o.timestamp,
+            )
+            for o in observations
+            if o.complaint_filed and o.observer_id != o.subject_id
+        ]
+        if complaints:
+            self._ingest(complaints)
+
+    def _ingest(self, complaints: Sequence[Complaint]) -> None:
+        """Persist a batch of complaints and keep the counters consistent."""
+        if self._synced_len is None:
+            # Unsized store: counters are recounted from the store on every
+            # read anyway, so writes only persist (incrementing here would be
+            # dead work and syncing would trigger a full remote recount per
+            # write).
+            for complaint in complaints:
+                self._store.file_complaint(complaint)
+            return
+        self._sync()
+        for complaint in complaints:
+            self._store.file_complaint(complaint)
+        intern = self._index.intern
+        accused = np.fromiter(
+            (intern(c.accused_id) for c in complaints),
+            dtype=np.int64,
+            count=len(complaints),
+        )
+        filed_by = np.fromiter(
+            (intern(c.complainant_id) for c in complaints),
+            dtype=np.int64,
+            count=len(complaints),
+        )
+        self._ensure_capacity()
+        np.add.at(self._received, accused, 1.0)
+        np.add.at(self._filed, filed_by, 1.0)
+        self._in_store[accused] = True
+        self._in_store[filed_by] = True
+        self._synced_len += len(complaints)
+
+    def _ensure_capacity(self) -> None:
+        size = len(self._index)
+        self._received = _grow(self._received, size)
+        self._filed = _grow(self._filed, size)
+        self._in_store = _grow(self._in_store, size)
+
+    # -- cache consistency ------------------------------------------------
+    def _sync(self) -> None:
+        """Rebuild the counters when the underlying store changed under us."""
+        if self._synced_len is None:
+            self._rebuild()
+            return
+        current = len(self._store)  # type: ignore[arg-type]
+        if current != self._synced_len:
+            self._rebuild()
+            self._synced_len = current
+
+    def _rebuild(self) -> None:
+        agents = list(self._store.known_agents())
+        for agent_id in agents:
+            self._index.intern(agent_id)
+        self._ensure_capacity()
+        self._received[:] = 0.0
+        self._filed[:] = 0.0
+        self._in_store[:] = False
+        complaints: Optional[Iterable[Complaint]] = None
+        if hasattr(self._store, "all_complaints"):
+            complaints = self._store.all_complaints()  # type: ignore[attr-defined]
+        if complaints is not None:
+            intern = self._index.intern
+            for complaint in complaints:
+                accused = intern(complaint.accused_id)
+                complainant = intern(complaint.complainant_id)
+                self._ensure_capacity()
+                self._received[accused] += 1.0
+                self._filed[complainant] += 1.0
+        else:
+            for agent_id in agents:
+                row = self._index.intern(agent_id)
+                self._received[row] = float(len(self._store.complaints_about(agent_id)))
+                self._filed[row] = float(len(self._store.complaints_by(agent_id)))
+        for agent_id in agents:
+            self._in_store[self._index.intern(agent_id)] = True
+
+    # -- assessment -------------------------------------------------------
+    def _metrics(self) -> np.ndarray:
+        size = len(self._index)
+        received = self._received[:size]
+        filed = self._filed[:size]
+        if self._metric_mode == "product":
+            return received * filed
+        if self._metric_mode == "received":
+            return received.copy()
+        return received * (1.0 + filed)
+
+    def reference_metric(self) -> float:
+        """The community's median complaint metric (0 when no data)."""
+        self._sync()
+        return self._reference()
+
+    def _reference(self) -> float:
+        metrics = self._metrics()[self._in_store[: len(self._index)]]
+        if metrics.size == 0:
+            return 0.0
+        return float(np.median(metrics))
+
+    def counts(self, agent_id: str) -> Tuple[int, int]:
+        """``(received, filed)`` complaint counts for one agent."""
+        self._sync()
+        row = self._index.get(agent_id)
+        if row is None:
+            return (0, 0)
+        return (int(self._received[row]), int(self._filed[row]))
+
+    def scores_for(
+        self, subject_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        self._sync()
+        reference = self._reference()
+        metrics = self._metrics()
+        get = self._index.get
+        rows = np.fromiter(
+            (-1 if (i := get(s)) is None else i for s in subject_ids),
+            dtype=np.int64,
+            count=len(subject_ids),
+        )
+        subject_metrics = np.zeros(len(rows))
+        known = rows >= 0
+        subject_metrics[known] = metrics[rows[known]]
+        scale = self._trust_scale * max(1.0, reference)
+        return np.exp(-subject_metrics / scale)
+
+    def trust(self, subject_id: str, now: Optional[float] = None) -> float:
+        return self.score(subject_id, now=now)
+
+    def trustworthy(self, subject_id: str) -> bool:
+        """The binary Aberer–Despotovic decision against the community median."""
+        self._sync()
+        reference = self._reference()
+        row = self._index.get(subject_id)
+        metric = 0.0 if row is None else float(self._metrics()[row])
+        if reference > 0:
+            return metric <= self._tolerance_factor * reference
+        return metric <= self._tolerance_factor
+
+    def known_subjects(self) -> Tuple[str, ...]:
+        self._sync()
+        # The synced index/_in_store pair already holds the store's agent
+        # set; answering from it avoids the store's O(complaints x agents)
+        # rescan on the fast path.
+        size = len(self._index)
+        in_store = self._in_store[:size]
+        names = self._index.names()
+        return tuple(names[row] for row in range(size) if in_store[row])
+
+
+class ScalarBetaBackendAdapter(TrustBackend):
+    """Adapts a scalar :class:`BetaTrustModel` to the backend interface.
+
+    Used for decay models the vectorized backends cannot express online
+    (e.g. :class:`~repro.trust.decay.SlidingWindowDecay`) and as the scalar
+    reference in the batched-versus-scalar benchmark.  Every batch method
+    degrades to a Python loop over the wrapped model.
+    """
+
+    name = "scalar-beta"
+
+    def __init__(self, model: Optional[BetaTrustModel] = None):
+        self._model = model if model is not None else BetaTrustModel()
+
+    @property
+    def model(self) -> BetaTrustModel:
+        return self._model
+
+    def update_many(self, observations: Sequence[TrustObservation]) -> None:
+        for observation in observations:
+            self._model.record_outcome(
+                subject_id=observation.subject_id,
+                honest=observation.honest,
+                observer_id=observation.observer_id,
+                timestamp=observation.timestamp,
+                weight=observation.weight,
+            )
+
+    def scores_for(
+        self, subject_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        return np.fromiter(
+            (self._model.trust(subject_id, now=now) for subject_id in subject_ids),
+            dtype=np.float64,
+            count=len(subject_ids),
+        )
+
+    def belief(self, subject_id: str, now: Optional[float] = None) -> BetaBelief:
+        return self._model.belief(subject_id, now=now)
+
+    def trust(self, subject_id: str, now: Optional[float] = None) -> float:
+        return self._model.trust(subject_id, now=now)
+
+    def observation_count(self, subject_id: str) -> int:
+        return self._model.observation_count(subject_id)
+
+    def known_subjects(self) -> Tuple[str, ...]:
+        return self._model.known_subjects()
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+_BACKEND_FACTORIES: Dict[str, Callable[..., TrustBackend]] = {}
+
+#: The built-in, simulation-ready backends (in registration order).
+BACKEND_NAMES = ("beta", "complaint", "decay")
+
+
+def register_backend(
+    name: str, factory: Callable[..., TrustBackend], replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is called with the keyword parameters handed to
+    :func:`create_backend`.  Re-registering an existing name requires
+    ``replace=True`` so typos do not silently shadow built-ins.
+    """
+    if not name:
+        raise TrustModelError("backend name must be non-empty")
+    if name in _BACKEND_FACTORIES and not replace:
+        raise TrustModelError(f"backend {name!r} is already registered")
+    _BACKEND_FACTORIES[name] = factory
+
+
+def create_backend(name: str, **params: object) -> TrustBackend:
+    """Instantiate a registered backend by name."""
+    factory = _BACKEND_FACTORIES.get(name)
+    if factory is None:
+        raise TrustModelError(
+            f"unknown trust backend {name!r}; registered: {backend_names()}"
+        )
+    return factory(**params)
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names of all registered backends, in registration order."""
+    return tuple(_BACKEND_FACTORIES)
+
+
+register_backend("beta", BetaTrustBackend)
+register_backend("complaint", ComplaintTrustBackend)
+register_backend("decay", DecayTrustBackend)
+register_backend("scalar-beta", ScalarBetaBackendAdapter)

@@ -110,6 +110,10 @@ class LocalComplaintStore:
                     agents.append(agent_id)
         return agents
 
+    def all_complaints(self) -> Sequence[Complaint]:
+        """Every stored complaint (lets caching layers recount in one pass)."""
+        return tuple(self._complaints)
+
     def __len__(self) -> int:
         return len(self._complaints)
 

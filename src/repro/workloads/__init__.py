@@ -1,4 +1,4 @@
-"""Workload generators: valuations, populations and named scenarios."""
+"""Workload generators: valuations, populations and the scenario registry."""
 
 from repro.workloads.populations import (
     PopulationSpec,
@@ -6,10 +6,20 @@ from repro.workloads.populations import (
     honesty_map,
     population_factory,
 )
+from repro.workloads.registry import (
+    ScenarioDefinition,
+    build_registered_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
 from repro.workloads.scenarios import SCENARIO_NAMES, ScenarioSpec, build_scenario
 from repro.workloads.valuations import (
+    MixtureValuationModel,
     digital_goods_valuations,
     ebay_auction_valuations,
+    mixed_goods_valuations,
     stress_deficit_valuations,
     teamwork_service_valuations,
     valuation_workload,
@@ -21,6 +31,8 @@ __all__ = [
     "digital_goods_valuations",
     "teamwork_service_valuations",
     "stress_deficit_valuations",
+    "mixed_goods_valuations",
+    "MixtureValuationModel",
     "valuation_workload",
     "workload_bundle",
     "PopulationSpec",
@@ -30,4 +42,10 @@ __all__ = [
     "ScenarioSpec",
     "build_scenario",
     "SCENARIO_NAMES",
+    "ScenarioDefinition",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "build_registered_scenario",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import WorkloadError
+from repro.reputation.manager import TrustMethod
 from repro.simulation.behaviors import (
     BehaviorModel,
     HonestBehavior,
@@ -21,7 +22,7 @@ from repro.simulation.behaviors import (
     RationalDefectorBehavior,
 )
 from repro.simulation.peer import CommunityPeer
-from repro.trust.complaint import ComplaintStore
+from repro.trust import ComplaintStore
 
 __all__ = ["PopulationSpec", "build_population", "population_factory", "honesty_map"]
 
@@ -91,12 +92,15 @@ def build_population(
     spec: PopulationSpec,
     complaint_store: Optional[ComplaintStore] = None,
     seed: int = 0,
+    trust_method: str = TrustMethod.BETA,
 ) -> List[CommunityPeer]:
     """Build the peers described by ``spec``.
 
     When ``complaint_store`` is supplied every peer files complaints into (and
     reads from) that shared store, modelling the community-wide complaint
     system; otherwise each peer keeps a private store (direct evidence only).
+    ``trust_method`` selects the trust backend every peer consults (one of
+    :data:`repro.reputation.manager.TrustMethod.ALL`).
     """
     rng = random.Random(seed)
     peers: List[CommunityPeer] = []
@@ -108,6 +112,7 @@ def build_population(
                 behavior=behavior,
                 complaint_store=complaint_store,
                 defection_penalty=spec.defection_penalty,
+                trust_method=trust_method,
             )
         )
     return peers
@@ -117,6 +122,7 @@ def population_factory(
     spec: PopulationSpec,
     complaint_store: Optional[ComplaintStore] = None,
     seed: int = 0,
+    trust_method: str = TrustMethod.BETA,
 ) -> Callable[[int], CommunityPeer]:
     """A factory for churn arrivals drawing behaviours from the same spec."""
     rng = random.Random(seed + 1)
@@ -129,6 +135,7 @@ def population_factory(
             behavior=behavior,
             complaint_store=complaint_store,
             defection_penalty=spec.defection_penalty,
+            trust_method=trust_method,
         )
 
     return factory

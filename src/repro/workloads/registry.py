@@ -1,0 +1,175 @@
+"""Unified scenario registry: every runnable workload, discoverable by name.
+
+Mirrors the trust-backend registry of :mod:`repro.trust.backend` on the
+workload side: each scenario/population/behaviour mix is a named,
+parameterized :class:`ScenarioDefinition`.  The CLI lists the catalogue
+(``repro list-scenarios``) and builds entries by name
+(``repro run --scenario <name> --backend <name>``), and experiment code can
+iterate :func:`list_scenarios` to sweep every registered workload without
+hard-coding names.
+
+New scenarios register themselves with :func:`register_scenario`; the
+built-in catalogue covers the three application settings of the paper's
+introduction plus three stress variants exercising the trust backends
+differently (churn, witness collusion, heterogeneous goods).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+from repro.workloads.scenarios import SCENARIO_NAMES, ScenarioSpec, build_scenario
+
+__all__ = [
+    "ScenarioDefinition",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "build_registered_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """One catalogue entry: a named, parameterized scenario builder.
+
+    Attributes
+    ----------
+    name:
+        Unique registry key (what the CLI accepts).
+    summary:
+        One-line description shown by ``repro list-scenarios``.
+    tags:
+        Free-form labels (e.g. which backend the scenario stresses).
+    builder:
+        Callable with the :func:`repro.workloads.scenarios.build_scenario`
+        keyword signature (``size``, ``rounds``, ``dishonest_fraction``,
+        ``defection_penalty``, ``seed``, ``backend``) returning a
+        :class:`ScenarioSpec`.
+    defaults:
+        Parameter overrides applied before caller-supplied values.
+    """
+
+    name: str
+    summary: str
+    builder: Callable[..., ScenarioSpec]
+    tags: Tuple[str, ...] = ()
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+    def build(self, **params: object) -> ScenarioSpec:
+        """Build the scenario, layering ``params`` over the defaults."""
+        merged: Dict[str, object] = dict(self.defaults)
+        merged.update(params)
+        return self.builder(**merged)
+
+
+_REGISTRY: Dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(definition: ScenarioDefinition, replace: bool = False) -> None:
+    """Add a scenario to the catalogue.
+
+    Re-registering an existing name requires ``replace=True`` so typos do not
+    silently shadow built-ins.
+    """
+    if not definition.name:
+        raise WorkloadError("scenario name must be non-empty")
+    if definition.name in _REGISTRY and not replace:
+        raise WorkloadError(f"scenario {definition.name!r} is already registered")
+    _REGISTRY[definition.name] = definition
+
+
+def get_scenario(name: str) -> ScenarioDefinition:
+    """Look up one catalogue entry by name."""
+    definition = _REGISTRY.get(name)
+    if definition is None:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        )
+    return definition
+
+
+def list_scenarios() -> Tuple[ScenarioDefinition, ...]:
+    """All catalogue entries, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Names of all registered scenarios, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def build_registered_scenario(
+    name: str, backend: Optional[str] = None, **params: object
+) -> ScenarioSpec:
+    """Build a registered scenario by name with a chosen trust backend."""
+    definition = get_scenario(name)
+    if backend is not None:
+        params["backend"] = backend
+    return definition.build(**params)
+
+
+def _builder(name: str) -> Callable[..., ScenarioSpec]:
+    def build(**params: object) -> ScenarioSpec:
+        return build_scenario(name, **params)  # type: ignore[arg-type]
+
+    build.__name__ = f"build_{name.replace('-', '_')}"
+    return build
+
+
+_BUILTIN_DEFINITIONS = (
+    ScenarioDefinition(
+        name="ebay",
+        summary="Physical big-ticket auction goods, random partner discovery.",
+        builder=_builder("ebay"),
+        tags=("paper", "auction"),
+    ),
+    ScenarioDefinition(
+        name="p2p-file-trading",
+        summary="Digital goods for money in a P2P system, trust-weighted discovery.",
+        builder=_builder("p2p-file-trading"),
+        tags=("paper", "digital"),
+    ),
+    ScenarioDefinition(
+        name="teamwork",
+        summary="Service trades with continuation value (ongoing collaborations).",
+        builder=_builder("teamwork"),
+        tags=("paper", "services"),
+    ),
+    ScenarioDefinition(
+        name="high-churn",
+        summary="Digital goods under constant arrival/departure; stale evidence "
+        "stresses decay-weighted trust.",
+        builder=_builder("high-churn"),
+        tags=("stress", "churn", "decay-backend"),
+    ),
+    ScenarioDefinition(
+        name="collusive-witness",
+        summary="Malicious coalition floods spurious complaints about honest "
+        "peers; stresses complaint-based trust.",
+        builder=_builder("collusive-witness"),
+        tags=("stress", "collusion", "complaint-backend"),
+    ),
+    ScenarioDefinition(
+        name="mixed-goods",
+        summary="Marketplace mixing physical, digital and service valuations "
+        "in every bundle.",
+        builder=_builder("mixed-goods"),
+        tags=("stress", "marketplace", "heterogeneous"),
+    ),
+)
+
+for _definition in _BUILTIN_DEFINITIONS:
+    register_scenario(_definition)
+
+# The legacy static tuple and the catalogue must stay in lock step; a drift
+# here means a scenario is runnable but undiscoverable (or vice versa).
+if set(scenario_names()) != set(SCENARIO_NAMES):
+    raise WorkloadError(
+        "scenario registry and SCENARIO_NAMES diverged: "
+        f"registry-only={sorted(set(scenario_names()) - set(SCENARIO_NAMES))}, "
+        f"names-only={sorted(set(SCENARIO_NAMES) - set(scenario_names()))}"
+    )

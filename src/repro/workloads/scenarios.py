@@ -1,28 +1,48 @@
 """Named end-to-end scenarios: ready-to-run community simulations.
 
 Each scenario corresponds to one of the application settings the paper's
-introduction motivates and wires together a valuation workload, a population
-composition and a community configuration.  The exchange strategy is left as
-a parameter so the same scenario can be run with the trust-aware approach and
-with every baseline.
+introduction motivates (or a stress variant of one) and wires together a
+valuation workload, a population composition, an optional churn process and a
+community configuration.  The exchange strategy is left as a parameter so the
+same scenario can be run with the trust-aware approach and with every
+baseline, and the trust *backend* is a parameter too
+(:data:`repro.trust.BACKEND_NAMES` plus ``combined``), so every scenario ×
+backend pair is runnable.
+
+The discoverable catalogue over these builders lives in
+:mod:`repro.workloads.registry`; the CLI (``repro list-scenarios`` and
+``repro run``) goes through it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.exceptions import WorkloadError
 from repro.marketplace.strategy import ExchangeStrategy, TrustAwareStrategy
+from repro.reputation.manager import TrustMethod
+from repro.simulation.churn import ChurnModel
 from repro.simulation.community import CommunityConfig, CommunitySimulation
 from repro.simulation.peer import CommunityPeer
-from repro.trust.complaint import ComplaintStore, LocalComplaintStore
-from repro.workloads.populations import PopulationSpec, build_population
+from repro.trust import ComplaintStore, ComplaintTrustBackend
+from repro.workloads.populations import (
+    PopulationSpec,
+    build_population,
+    population_factory,
+)
 from repro.workloads.valuations import valuation_workload
 
 __all__ = ["ScenarioSpec", "build_scenario", "SCENARIO_NAMES"]
 
-SCENARIO_NAMES = ("ebay", "p2p-file-trading", "teamwork")
+SCENARIO_NAMES = (
+    "ebay",
+    "p2p-file-trading",
+    "teamwork",
+    "high-churn",
+    "collusive-witness",
+    "mixed-goods",
+)
 
 
 @dataclass
@@ -33,11 +53,29 @@ class ScenarioSpec:
     peers: List[CommunityPeer]
     config: CommunityConfig
     complaint_store: ComplaintStore
+    trust_method: str = TrustMethod.BETA
+    churn: Optional[ChurnModel] = None
+    peer_factory: Optional[Callable[[int], CommunityPeer]] = None
 
     def simulation(self, strategy: Optional[ExchangeStrategy] = None) -> CommunitySimulation:
         """A community simulation of this scenario with the given strategy."""
         chosen = strategy if strategy is not None else TrustAwareStrategy()
-        return CommunitySimulation(self.peers, chosen, self.config)
+        return CommunitySimulation(
+            self.peers,
+            chosen,
+            self.config,
+            churn=self.churn,
+            peer_factory=self.peer_factory,
+        )
+
+
+def _resolve_trust_method(backend: Optional[str]) -> str:
+    method = backend if backend is not None else TrustMethod.BETA
+    if method not in TrustMethod.ALL:
+        raise WorkloadError(
+            f"unknown trust backend {method!r}; valid names: {TrustMethod.ALL}"
+        )
+    return method
 
 
 def build_scenario(
@@ -47,19 +85,36 @@ def build_scenario(
     dishonest_fraction: float = 0.2,
     defection_penalty: float = 0.0,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> ScenarioSpec:
     """Construct one of the named scenarios.
 
     ``ebay`` — physical goods with big-ticket items, random discovery;
     ``p2p-file-trading`` — digital goods, cheap to produce, trust-weighted
     discovery; ``teamwork`` — services with weakly correlated valuations and
-    a reputation continuation value (ongoing collaborations).
+    a reputation continuation value (ongoing collaborations); ``high-churn``
+    — digital goods under constant peer arrival/departure (stale-evidence
+    stress, the decay backend's home turf); ``collusive-witness`` — a large
+    malicious minority that coordinates spurious complaints against honest
+    peers (the complaint backend's threat model); ``mixed-goods`` — a
+    marketplace mixing physical, digital and service valuations in one
+    bundle.
+
+    ``backend`` selects the trust backend every peer consults (``beta``,
+    ``complaint``, ``decay`` or ``combined``; default ``beta``).
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
             f"unknown scenario {name!r}; valid names: {SCENARIO_NAMES}"
         )
-    shared_store = LocalComplaintStore()
+    trust_method = _resolve_trust_method(backend)
+    # One vectorized complaint backend shared by the whole community is the
+    # community complaint store: every peer writes and reads through it, so
+    # counters are updated incrementally with no cache rebuilds.
+    shared_store = ComplaintTrustBackend(metric_mode="balanced")
+    churn: Optional[ChurnModel] = None
+    factory: Optional[Callable[[int], CommunityPeer]] = None
+
     if name == "ebay":
         spec = PopulationSpec(
             size=size,
@@ -97,7 +152,7 @@ def build_scenario(
             defection_penalty=defection_penalty,
             seed=seed,
         )
-    else:  # teamwork
+    elif name == "teamwork":
         spec = PopulationSpec(
             size=size,
             honest_fraction=max(0.0, 0.85 - dishonest_fraction),
@@ -116,7 +171,85 @@ def build_scenario(
             defection_penalty=max(defection_penalty, 2.0),
             seed=seed,
         )
-    peers = build_population(spec, complaint_store=shared_store, seed=seed)
+    elif name == "high-churn":
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.65 - dishonest_fraction / 2),
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=max(0.0, 0.35 - dishonest_fraction / 2),
+            probabilistic_honesty=0.85,
+            false_complaint_probability=0.3,
+            defection_penalty=defection_penalty,
+            id_prefix="churn",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=6,
+            valuation_model=valuation_workload("digital"),
+            matching="trust",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+        churn = ChurnModel(
+            departure_probability=0.12,
+            arrival_rate=max(1.0, size * 0.1),
+            min_population=max(4, size // 3),
+        )
+        factory = population_factory(
+            spec, complaint_store=shared_store, seed=seed, trust_method=trust_method
+        )
+    elif name == "collusive-witness":
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 1.0 - dishonest_fraction - 0.1),
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=0.1,
+            probabilistic_honesty=0.9,
+            # The malicious coalition bad-mouths honest partners after nearly
+            # every successful interaction — the witness-pollution threat
+            # model of the complaint-based scheme.
+            false_complaint_probability=0.9,
+            defection_penalty=defection_penalty,
+            id_prefix="collusion",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=5,
+            valuation_model=valuation_workload("ebay"),
+            matching="trust",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+    else:  # mixed-goods
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.6 - dishonest_fraction / 2),
+            dishonest_fraction=dishonest_fraction,
+            opportunist_fraction=0.1,
+            probabilistic_fraction=max(0.0, 0.3 - dishonest_fraction / 2),
+            opportunist_threshold=6.0,
+            false_complaint_probability=0.2,
+            defection_penalty=defection_penalty,
+            id_prefix="mixed",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=6,
+            valuation_model=valuation_workload("mixed"),
+            matching="random",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+
+    peers = build_population(
+        spec, complaint_store=shared_store, seed=seed, trust_method=trust_method
+    )
     return ScenarioSpec(
-        name=name, peers=peers, config=config, complaint_store=shared_store
+        name=name,
+        peers=peers,
+        config=config,
+        complaint_store=shared_store,
+        trust_method=trust_method,
+        churn=churn,
+        peer_factory=factory,
     )

@@ -8,7 +8,8 @@ these factories encode so experiments and examples can refer to them by name.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import random
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.goods import GoodsBundle
 from repro.core.valuation import (
@@ -26,9 +27,60 @@ __all__ = [
     "digital_goods_valuations",
     "teamwork_service_valuations",
     "stress_deficit_valuations",
+    "mixed_goods_valuations",
+    "MixtureValuationModel",
     "valuation_workload",
     "workload_bundle",
 ]
+
+
+class MixtureValuationModel(ValuationModel):
+    """Draws each item from one of several component valuation models.
+
+    Models a marketplace trading heterogeneous goods (physical big-ticket
+    items next to near-free digital goods next to services): every item of a
+    bundle picks its component model according to the mixture weights, so a
+    single bundle can mix radically different cost/value shapes — the
+    workload that stresses exchange scheduling and trust weighting the most.
+    """
+
+    def __init__(
+        self,
+        components: Sequence[ValuationModel],
+        weights: Optional[Sequence[float]] = None,
+    ):
+        if not components:
+            raise WorkloadError("a mixture needs at least one component model")
+        if weights is None:
+            weights = [1.0] * len(components)
+        if len(weights) != len(components):
+            raise WorkloadError("weights must match the number of components")
+        if any(weight < 0 for weight in weights) or sum(weights) <= 0:
+            raise WorkloadError("mixture weights must be non-negative, sum > 0")
+        self._components = tuple(components)
+        total = float(sum(weights))
+        self._cumulative: Tuple[float, ...] = tuple(
+            sum(weights[: index + 1]) / total for index in range(len(weights))
+        )
+
+    def sample_item(self, rng: random.Random, index: int) -> Tuple[float, float]:
+        draw = rng.random()
+        for component, bound in zip(self._components, self._cumulative):
+            if draw <= bound:
+                return component.sample_item(rng, index)
+        return self._components[-1].sample_item(rng, index)
+
+
+def mixed_goods_valuations() -> ValuationModel:
+    """Heterogeneous marketplace: physical, digital and service goods mixed."""
+    return MixtureValuationModel(
+        components=(
+            ebay_auction_valuations(),
+            digital_goods_valuations(),
+            teamwork_service_valuations(),
+        ),
+        weights=(0.4, 0.35, 0.25),
+    )
 
 
 def ebay_auction_valuations() -> ValuationModel:
@@ -83,13 +135,14 @@ _WORKLOADS: Dict[str, ValuationModel] = {}
 def valuation_workload(name: str) -> ValuationModel:
     """Look up a named valuation workload.
 
-    Valid names: ``ebay``, ``digital``, ``teamwork``, ``stress``.
+    Valid names: ``ebay``, ``digital``, ``teamwork``, ``stress``, ``mixed``.
     """
     factories = {
         "ebay": ebay_auction_valuations,
         "digital": digital_goods_valuations,
         "teamwork": teamwork_service_valuations,
         "stress": stress_deficit_valuations,
+        "mixed": mixed_goods_valuations,
     }
     if name not in factories:
         raise WorkloadError(

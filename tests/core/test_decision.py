@@ -180,3 +180,46 @@ class TestDecisionMaker:
     def test_invalid_min_trust(self):
         with pytest.raises(DecisionError):
             DecisionMaker(risk_policy=ZeroExposurePolicy(), min_trust=2.0)
+
+
+class TestBatchedExposures:
+    """The vectorized policy paths must agree with their scalar originals."""
+
+    POLICIES = (
+        ZeroExposurePolicy(),
+        FractionalGainPolicy(fraction=0.7),
+        ExpectedLossBudgetPolicy(budget_fraction=0.4),
+        ExpectedLossBudgetPolicy(budget_fraction=0.4, absolute_cap=5.0),
+        RiskNeutralPolicy(),
+        CaraPolicy(risk_aversion=0.2),
+        TrustThresholdPolicy(trust_threshold=0.6, exposure_if_trusted=3.0),
+    )
+
+    def test_vectorized_matches_scalar_for_every_policy(self):
+        trusts = [0.0, 0.3, 0.6, 0.95, 1.0]
+        gains = [0.0, 1.5, 10.0, 100.0, 7.0]
+        for policy in self.POLICIES:
+            batched = policy.accepted_exposures(trusts, gains)
+            for index, (trust, gain) in enumerate(zip(trusts, gains)):
+                assert batched[index] == pytest.approx(
+                    policy.accepted_exposure(trust, gain), rel=1e-12
+                ), policy.describe()
+
+    def test_assess_many_matches_assess(self):
+        maker = DecisionMaker(risk_policy=ExpectedLossBudgetPolicy())
+        trusts = [0.2, 0.8]
+        gains = [4.0, 9.0]
+        batched = maker.assess_many(trusts, gains)
+        for index, (trust, gain) in enumerate(zip(trusts, gains)):
+            assert batched[index] == pytest.approx(
+                maker.assess(trust, gain).accepted_exposure
+            )
+
+    def test_batch_validation_rejects_bad_inputs(self):
+        policy = FractionalGainPolicy()
+        with pytest.raises(DecisionError):
+            policy.accepted_exposures([0.5, 1.5], [1.0, 1.0])
+        with pytest.raises(DecisionError):
+            policy.accepted_exposures([0.5, 0.5], [1.0, -1.0])
+        with pytest.raises(DecisionError):
+            policy.accepted_exposures([0.5], [1.0, 2.0])

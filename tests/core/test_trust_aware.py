@@ -215,3 +215,63 @@ class TestEquivalenceWithManualRequirements:
         )
         assert requirements.supplier_defection_penalty == pytest.approx(1.0)
         assert requirements.consumer_defection_penalty == pytest.approx(2.0)
+
+
+class TestBackendDrivenPlanning:
+    def test_plan_from_backend_matches_manual_partner_models(self, hard_bundle):
+        from repro.core.trust_aware import partner_models_from_backend
+        from repro.trust.backend import BetaTrustBackend, TrustObservation
+
+        backend = BetaTrustBackend()
+        backend.update_many(
+            [
+                TrustObservation("supplier", "consumer", True, weight=8.0),
+                TrustObservation("consumer", "supplier", True, weight=8.0),
+            ]
+        )
+        supplier_maker = DecisionMaker(risk_policy=ExpectedLossBudgetPolicy())
+        consumer_maker = DecisionMaker(risk_policy=ExpectedLossBudgetPolicy())
+        planner = TrustAwareExchangePlanner()
+        via_backend = planner.plan_from_backend(
+            backend,
+            hard_bundle,
+            9.0,
+            supplier_id="supplier",
+            consumer_id="consumer",
+            supplier_decision_maker=supplier_maker,
+            consumer_decision_maker=consumer_maker,
+        )
+        supplier, consumer = partner_models_from_backend(
+            backend, "supplier", "consumer", supplier_maker, consumer_maker
+        )
+        manual = planner.plan(hard_bundle, 9.0, supplier, consumer)
+        assert supplier.trust_in_partner == pytest.approx(
+            backend.score("consumer")
+        )
+        assert consumer.trust_in_partner == pytest.approx(
+            backend.score("supplier")
+        )
+        assert via_backend.agreed == manual.agreed
+        assert via_backend.requirements.consumer_accepted_exposure == pytest.approx(
+            manual.requirements.consumer_accepted_exposure
+        )
+
+    def test_plan_from_backend_unknown_peers_use_prior(self, hard_bundle):
+        from repro.trust.backend import BetaTrustBackend
+
+        backend = BetaTrustBackend()
+        plan = TrustAwareExchangePlanner().plan_from_backend(
+            backend,
+            hard_bundle,
+            9.0,
+            supplier_id="s",
+            consumer_id="c",
+            supplier_decision_maker=DecisionMaker(
+                risk_policy=ExpectedLossBudgetPolicy()
+            ),
+            consumer_decision_maker=DecisionMaker(
+                risk_policy=ExpectedLossBudgetPolicy()
+            ),
+        )
+        assert plan.supplier_assessment.trust == pytest.approx(0.5)
+        assert plan.consumer_assessment.trust == pytest.approx(0.5)

@@ -126,3 +126,55 @@ class TestTrustQueries:
     def test_empty_owner_rejected(self):
         with pytest.raises(ReputationError):
             ReputationManager("")
+
+
+class TestBatchRecording:
+    def test_record_many_matches_sequential_recording(self):
+        records = [completed("bob", "alice", value=v, t=float(v)) for v in (1, 3, 7)]
+        records.append(defected("bob", "alice", defector="supplier", t=9.0))
+        batched = ReputationManager("alice")
+        batched.record_many(records)
+        sequential = ReputationManager("alice")
+        for record in records:
+            sequential.record_interaction(record)
+        assert batched.trust_estimate("bob") == pytest.approx(
+            sequential.trust_estimate("bob")
+        )
+        assert batched.interaction_count() == sequential.interaction_count()
+
+    def test_invalid_batch_is_atomic(self):
+        manager = ReputationManager("alice")
+        good = completed("bob", "alice")
+        foreign = completed("bob", "carol")
+        with pytest.raises(ReputationError):
+            manager.record_many([good, foreign])
+        # The bad record must not leave a half-applied batch behind.
+        assert manager.interaction_count() == 0
+        assert manager.trust_estimate("bob") == pytest.approx(0.5)
+
+    def test_conflicting_params_with_shared_backend_rejected(self):
+        from repro.trust.backend import ComplaintTrustBackend
+
+        shared = ComplaintTrustBackend(metric_mode="balanced")
+        # Matching / unspecified parameters are fine.
+        ReputationManager("alice", complaint_store=shared)
+        ReputationManager(
+            "alice", complaint_store=shared, complaint_metric_mode="balanced"
+        )
+        with pytest.raises(ReputationError):
+            ReputationManager(
+                "alice", complaint_store=shared, complaint_metric_mode="product"
+            )
+        with pytest.raises(ReputationError):
+            ReputationManager(
+                "alice", complaint_store=shared, complaint_tolerance_factor=2.0
+            )
+
+    def test_decay_backend_materialises_lazily_with_history(self):
+        manager = ReputationManager("alice")
+        manager.record_interaction(defected("bob", "alice", defector="supplier", t=0.0))
+        assert TrustMethod.DECAY not in manager.backends
+        estimate = manager.trust_estimate("bob", method=TrustMethod.DECAY, now=0.0)
+        assert TrustMethod.DECAY in manager.backends
+        # Evidence recorded before materialisation was replayed.
+        assert estimate < 0.5

@@ -143,6 +143,27 @@ class TestSimulationEngine:
     def test_step_returns_false_when_empty(self):
         assert SimulationEngine().step() is False
 
+    def test_run_advances_clock_to_until_when_queue_drains(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+        # Scheduling before the horizon the clock advanced to must fail.
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_run_with_max_events_does_not_jump_past_pending(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 2.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        engine.run(until=10.0, max_events=1)
+        assert fired == [1.0]
+        assert engine.now == 1.0  # event at 2.0 is still pending
+        engine.run(until=10.0)
+        assert fired == [1.0, 2.0]
+        assert engine.now == 10.0
+
     def test_reset(self):
         engine = SimulationEngine()
         engine.schedule_at(1.0, lambda: None)
@@ -151,3 +172,62 @@ class TestSimulationEngine:
         assert engine.now == 0.0
         assert engine.processed_events == 0
         assert engine.pending_events == 0
+
+
+class TestRunUntilHorizon:
+    """Events landing exactly on the horizon execute deterministically."""
+
+    def test_horizon_events_execute(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 5.0, 5.0 + 1e-9):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        processed = engine.run_until(5.0)
+        assert processed == 2
+        assert fired == [1.0, 5.0]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_horizon_ties_break_by_priority_then_insertion(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append("late-a"), priority=1)
+        engine.schedule_at(3.0, lambda: fired.append("early"), priority=0)
+        engine.schedule_at(3.0, lambda: fired.append("late-b"), priority=1)
+        engine.run_until(3.0)
+        assert fired == ["early", "late-a", "late-b"]
+
+    def test_event_scheduled_at_horizon_by_horizon_event_fires(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def at_horizon():
+            fired.append("first")
+            engine.schedule_at(4.0, lambda: fired.append("chained-at-horizon"))
+            engine.schedule_at(4.5, lambda: fired.append("beyond"))
+
+        engine.schedule_at(4.0, at_horizon)
+        engine.run_until(4.0)
+        assert fired == ["first", "chained-at-horizon"]
+        assert engine.pending_events == 1
+
+    def test_empty_queue_still_advances_clock(self):
+        engine = SimulationEngine()
+        assert engine.run_until(7.0) == 0
+        assert engine.now == 7.0
+
+    def test_past_horizon_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0)
+
+    def test_back_to_back_horizons_are_seamless(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(1.0, lambda: ticks.append(engine.now))
+        engine.run_until(3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        engine.run_until(5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]

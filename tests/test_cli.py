@@ -96,6 +96,62 @@ class TestToleranceCommand:
         assert "not sustainable" in output
 
 
+class TestListScenariosCommand:
+    def test_lists_registry_and_backends(self, capsys):
+        exit_code = main(["list-scenarios"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("ebay", "high-churn", "collusive-witness", "mixed-goods"):
+            assert name in output
+        assert "trust backends:" in output
+        assert "decay" in output
+
+    def test_tag_filter(self, capsys):
+        exit_code = main(["list-scenarios", "--tag", "churn"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "high-churn" in output
+        assert "mixed-goods" not in output
+
+    def test_unknown_tag_reports_empty(self, capsys):
+        exit_code = main(["list-scenarios", "--tag", "atlantis"])
+        assert exit_code == 1
+
+
+class TestRunCommand:
+    def test_runs_scenario_with_backend(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "collusive-witness",
+                "--backend", "complaint",
+                "--size", "8",
+                "--rounds", "3",
+                "--seed", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Backend:           complaint" in output
+        assert "Attempted trades" in output
+
+    def test_backend_defaults_to_beta(self, capsys):
+        exit_code = main(
+            ["run", "--scenario", "ebay", "--size", "8", "--rounds", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Backend:           beta" in output
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "ebay", "--backend", "tarot"])
+
+    def test_scenario_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -105,3 +161,11 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["scenario", "ebay", "--strategy", "alternating"])
         assert args.strategy == "alternating"
+
+    def test_run_accepts_every_registered_scenario(self):
+        from repro.workloads import scenario_names
+
+        parser = build_parser()
+        for name in scenario_names():
+            args = parser.parse_args(["run", "--scenario", name])
+            assert args.scenario == name
