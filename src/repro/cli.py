@@ -137,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--backend", choices=BACKEND_CHOICES,
                             default=TrustMethod.BETA,
                             help="trust backend every peer consults")
+    run_parser.add_argument("--evidence-mode", choices=("sync", "async"),
+                            default="sync",
+                            help="evidence propagation: apply immediately "
+                            "(sync) or route through the simulated network "
+                            "(async)")
+    run_parser.add_argument("--evidence-latency", type=float, default=0.0,
+                            help="mean evidence delay in rounds (async mode)")
+    run_parser.add_argument("--evidence-loss", type=float, default=0.0,
+                            help="evidence drop probability in [0, 1) "
+                            "(async mode)")
+    run_parser.add_argument("--witnesses", type=int, default=None,
+                            help="witnesses polled per exchange (default: "
+                            "the scenario's own setting)")
     _add_run_options(run_parser)
 
     tolerance_parser = subparsers.add_parser(
@@ -190,6 +203,14 @@ def _print_result(scenario_name: str, backend: str, result) -> None:
     print(f"Completion rate:   {result.completion_rate:.3f}")
     print(f"Honest welfare:    {result.honest_welfare():.1f}")
     print(f"Honest losses:     {result.honest_losses():.1f}")
+    counters = result.evidence_counters
+    if counters is not None:
+        print(
+            "Evidence plane:    "
+            f"{counters.sent} sent, {counters.delivered} delivered, "
+            f"{counters.dropped} dropped, {counters.in_flight} in flight "
+            f"(delivery ratio {result.evidence_delivery_ratio:.3f})"
+        )
 
 
 def _command_scenario(args: argparse.Namespace) -> int:
@@ -231,6 +252,10 @@ def _command_run(args: argparse.Namespace) -> int:
         rounds=args.rounds,
         dishonest_fraction=args.dishonest,
         seed=args.seed,
+        evidence_mode=args.evidence_mode,
+        evidence_latency=args.evidence_latency,
+        evidence_loss=args.evidence_loss,
+        witness_count=args.witnesses,
     )
     result = scenario.simulation(strategy).run()
     _print_result(args.scenario, args.backend, result)

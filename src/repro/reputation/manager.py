@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.exchange import Role
 from repro.exceptions import ReputationError
 from repro.reputation.records import InteractionRecord, Rating
-from repro.reputation.reporting import WitnessPool, indirect_belief
+from repro.reputation.reporting import WitnessPool, indirect_scores
 from repro.trust import (
     BetaTrustBackend,
     BetaTrustModel,
@@ -356,7 +356,8 @@ class ReputationManager:
         """Vectorized trust estimates for a batch of subjects.
 
         The batched read path used by matching and planning; witness
-        augmentation is only available through :meth:`trust_estimate`.
+        augmentation goes through :meth:`indirect_trust_scores` (batched) or
+        :meth:`trust_estimate` (single subject).
         """
         if method not in TrustMethod.ALL:
             raise ReputationError(f"unknown trust method {method!r}")
@@ -368,6 +369,44 @@ class ReputationManager:
         if method == TrustMethod.COMPLAINT:
             return self._backends[TrustMethod.COMPLAINT].scores_for(subject_ids)
         return self.backend_for(method).scores_for(subject_ids, now=now)
+
+    def indirect_trust_scores(
+        self,
+        subject_ids: Sequence[str],
+        witness_pool: WitnessPool,
+        witness_trusts: Optional[Mapping[str, float]] = None,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        """Witness-augmented beta trust for a whole batch of subjects.
+
+        Assembles one witness-belief matrix for the batch (the owner is never
+        asked as a witness) and folds it into the beta backend's direct
+        evidence with a single ``aggregate_witness_reports`` call.  Witness
+        discounts default to the owner's *own* current trust in each witness
+        when ``witness_trusts`` is not supplied — distrusted witnesses are
+        heard but barely counted.
+        """
+        backend = self._backends[TrustMethod.BETA]
+        if witness_trusts is None:
+            witness_ids = [
+                witness_id
+                for witness_id in witness_pool.models
+                if witness_id != self._owner_id
+            ]
+            if witness_ids:
+                scores = backend.scores_for(witness_ids, now=now)
+                witness_trusts = {
+                    witness_id: float(score)
+                    for witness_id, score in zip(witness_ids, scores)
+                }
+        return indirect_scores(
+            subject_ids,
+            backend,
+            witness_pool,
+            witness_trusts=witness_trusts,
+            exclude=(self._owner_id,),
+            now=now,
+        )
 
     def is_trustworthy(
         self, subject_id: str, threshold: float = 0.5, method: str = TrustMethod.BETA
@@ -401,11 +440,12 @@ class ReputationManager:
         backend = self._backends[TrustMethod.BETA]
         if witness_pool is None:
             return backend.score(subject_id, now=now)
-        belief = indirect_belief(
-            subject_id,
+        scores = indirect_scores(
+            (subject_id,),
             backend,
             witness_pool,
             witness_trusts=witness_trusts,
             exclude=(self._owner_id,),
+            now=now,
         )
-        return belief.mean
+        return float(scores[0])

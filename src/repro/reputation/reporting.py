@@ -3,9 +3,21 @@
 When a peer has little or no first-hand experience with a prospective
 partner it asks *witnesses* for their beliefs.  Witnesses may be honest
 (report their true belief), lie by inverting their belief (bad-mouthing or
-ballot-stuffing), or simply be unavailable.  The collected
-:class:`~repro.trust.aggregation.WitnessReport` objects are discounted by the
-requester's trust in each witness before being merged.
+ballot-stuffing), or simply be unavailable.
+
+Collection has two shapes:
+
+* the scalar path — :func:`collect_witness_reports` returns
+  :class:`~repro.trust.aggregation.WitnessReport` objects for one subject,
+  merged via :func:`~repro.trust.aggregation.combine_beta_evidence`; and
+* the batched path — :func:`collect_witness_matrix` assembles one
+  witness-belief matrix ``(n_witnesses, n_subjects, 2)`` for a whole query
+  batch, which a trust backend folds into its direct evidence in a single
+  ``aggregate_witness_reports`` call (:func:`indirect_scores`).
+
+Both discount every witness's evidence by the requester's trust in that
+witness; the batched path is the evidence-plane default and the scalar path
+remains the property-tested reference.
 """
 
 from __future__ import annotations
@@ -14,20 +26,39 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
-from repro.exceptions import ReputationError
-from repro.trust import BetaBelief, BetaTrustModel, WitnessReport, combine_beta_evidence
+import numpy as np
 
-__all__ = ["WitnessPool", "collect_witness_reports", "indirect_belief"]
+from repro.exceptions import ReputationError
+from repro.trust import (
+    BetaBelief,
+    BetaTrustModel,
+    WitnessReport,
+    combine_beta_evidence_matrix,
+    stack_witness_beliefs,
+)
+
+__all__ = [
+    "WitnessPool",
+    "WitnessMatrix",
+    "collect_witness_reports",
+    "collect_witness_matrix",
+    "indirect_belief",
+    "indirect_scores",
+]
 
 
 @dataclass
 class WitnessPool:
-    """A set of witnesses (peers with their own beta trust models).
+    """A set of witnesses (peers with their own beta-family trust state).
 
     Attributes
     ----------
     models:
-        Mapping from witness id to that witness's :class:`BetaTrustModel`.
+        Mapping from witness id to that witness's trust state: anything
+        exposing ``belief(subject_id) -> BetaBelief`` and
+        ``observation_count(subject_id) -> int`` — a scalar
+        :class:`BetaTrustModel` or a beta-family backend from
+        :mod:`repro.trust.backend`.
     liars:
         Witnesses that invert their reports (they swap the honest and
         dishonest evidence counts), modelling bad-mouthing / ballot stuffing.
@@ -57,6 +88,38 @@ class WitnessPool:
         if witness_id in self.liars:
             return BetaBelief(alpha=belief.beta, beta=belief.alpha)
         return belief
+
+    def collect_witness_reports(
+        self,
+        subject_id: str,
+        witness_trusts: Optional[Mapping[str, float]] = None,
+        exclude: Optional[Iterable[str]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> List[WitnessReport]:
+        """Scalar collection for one subject (see module-level function)."""
+        return collect_witness_reports(
+            subject_id, self, witness_trusts=witness_trusts, exclude=exclude, rng=rng
+        )
+
+
+@dataclass(frozen=True)
+class WitnessMatrix:
+    """One query batch's second-hand evidence in backend-consumable form.
+
+    ``matrix[w, s]`` holds witness ``witness_ids[w]``'s reported
+    ``(alpha, beta)`` about ``subject_ids[s]`` — the uniform prior ``(1, 1)``
+    when the witness had nothing to report (zero evidence, contributes
+    nothing).  ``discounts[w]`` is the requester's trust in the witness.
+    """
+
+    subject_ids: Sequence[str]
+    witness_ids: Sequence[str]
+    matrix: np.ndarray
+    discounts: np.ndarray
+
+    @property
+    def witness_count(self) -> int:
+        return len(self.witness_ids)
 
 
 def collect_witness_reports(
@@ -94,6 +157,60 @@ def collect_witness_reports(
     return reports
 
 
+def collect_witness_matrix(
+    subject_ids: Sequence[str],
+    pool: WitnessPool,
+    witness_trusts: Optional[Mapping[str, float]] = None,
+    exclude: Optional[Iterable[str]] = None,
+    rng: Optional[random.Random] = None,
+) -> WitnessMatrix:
+    """Ask every available witness about a whole batch of subjects at once.
+
+    The batched counterpart of :func:`collect_witness_reports`: one
+    availability draw per witness covers the whole batch (one request on the
+    wire, not one per subject), and the answers land in a single
+    witness-belief matrix ready for ``aggregate_witness_reports``.  A witness
+    never reports about itself, and subjects it has no observations about
+    get the uniform prior (zero evidence).
+    """
+    generator = rng if rng is not None else random.Random()
+    excluded = set(exclude or ())
+    trusts = witness_trusts or {}
+    witness_ids: List[str] = []
+    rows: List[List[Optional[BetaBelief]]] = []
+    discounts: List[float] = []
+    for witness_id in pool.models:
+        if witness_id in excluded:
+            continue
+        if pool.availability < 1.0 and generator.random() > pool.availability:
+            continue
+        model = pool.models[witness_id]
+        row: List[Optional[BetaBelief]] = []
+        informed = False
+        for subject_id in subject_ids:
+            if subject_id == witness_id or model.observation_count(subject_id) == 0:
+                row.append(None)
+                continue
+            row.append(pool.report_of(witness_id, subject_id))
+            informed = True
+        if not informed:
+            continue
+        witness_ids.append(witness_id)
+        rows.append(row)
+        discounts.append(trusts.get(witness_id, 1.0))
+    matrix = (
+        stack_witness_beliefs(rows)
+        if rows
+        else np.zeros((0, len(subject_ids), 2))
+    )
+    return WitnessMatrix(
+        subject_ids=tuple(subject_ids),
+        witness_ids=tuple(witness_ids),
+        matrix=matrix,
+        discounts=np.asarray(discounts, dtype=np.float64),
+    )
+
+
 def indirect_belief(
     subject_id: str,
     own_model,
@@ -106,10 +223,51 @@ def indirect_belief(
 
     ``own_model`` is anything exposing ``belief(subject_id) -> BetaBelief`` —
     a scalar :class:`BetaTrustModel` or one of the beta-family trust backends
-    from :mod:`repro.trust.backend`.
+    from :mod:`repro.trust.backend`.  Internally the reports are assembled
+    into a witness matrix and merged in one vectorized pass; the result is
+    identical to folding :func:`collect_witness_reports` through
+    ``combine_beta_evidence``.
     """
     direct = own_model.belief(subject_id)
-    reports = collect_witness_reports(
-        subject_id, pool, witness_trusts=witness_trusts, exclude=exclude, rng=rng
+    collected = collect_witness_matrix(
+        (subject_id,),
+        pool,
+        witness_trusts=witness_trusts,
+        exclude=set(exclude or ()) | {subject_id},
+        rng=rng,
     )
-    return combine_beta_evidence(direct, reports)
+    alpha, beta = combine_beta_evidence_matrix(
+        np.array([direct.alpha]),
+        np.array([direct.beta]),
+        collected.matrix,
+        collected.discounts,
+    )
+    return BetaBelief(float(alpha[0]), float(beta[0]))
+
+
+def indirect_scores(
+    subject_ids: Sequence[str],
+    backend,
+    pool: WitnessPool,
+    witness_trusts: Optional[Mapping[str, float]] = None,
+    exclude: Optional[Iterable[str]] = None,
+    rng: Optional[random.Random] = None,
+    now: Optional[float] = None,
+) -> np.ndarray:
+    """Witness-augmented trust scores for a whole query batch.
+
+    Assembles the witness-belief matrix once and hands it to
+    ``backend.aggregate_witness_reports`` — one vectorized aggregation call
+    per batch instead of one scalar merge per (subject, witness) pair.
+    ``backend`` is any beta-family :class:`~repro.trust.backend.TrustBackend`.
+    """
+    collected = collect_witness_matrix(
+        subject_ids,
+        pool,
+        witness_trusts=witness_trusts,
+        exclude=exclude,
+        rng=rng,
+    )
+    return backend.aggregate_witness_reports(
+        subject_ids, collected.matrix, collected.discounts, now=now
+    )

@@ -7,13 +7,17 @@ orchestration used by the end-to-end experiments.
 
 from repro.simulation.behaviors import (
     BehaviorModel,
+    CoalitionWitness,
     FluctuatingBehavior,
     HonestBehavior,
     OpportunisticBehavior,
     ProbabilisticBehavior,
     RationalDefectorBehavior,
+    TruthfulWitness,
+    WitnessReportPolicy,
 )
 from repro.simulation.churn import ChurnEvent, ChurnModel
+from repro.simulation.evidence import EVIDENCE_MODES, EvidencePlane
 from repro.simulation.community import (
     CommunityConfig,
     CommunityResult,
@@ -27,6 +31,7 @@ from repro.simulation.network import (
     FixedLatency,
     LatencyModel,
     Message,
+    NetworkCounters,
     SimulatedNetwork,
     UniformLatency,
 )
@@ -43,13 +48,19 @@ __all__ = [
     "FixedLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "NetworkCounters",
     "SimulatedNetwork",
+    "EVIDENCE_MODES",
+    "EvidencePlane",
     "BehaviorModel",
     "HonestBehavior",
     "RationalDefectorBehavior",
     "OpportunisticBehavior",
     "ProbabilisticBehavior",
     "FluctuatingBehavior",
+    "WitnessReportPolicy",
+    "TruthfulWitness",
+    "CoalitionWitness",
     "CommunityPeer",
     "ChurnModel",
     "ChurnEvent",

@@ -13,8 +13,10 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass
+from typing import FrozenSet
 
 from repro.exceptions import SimulationError
+from repro.trust.beta import BetaBelief
 
 __all__ = [
     "BehaviorModel",
@@ -23,6 +25,9 @@ __all__ = [
     "OpportunisticBehavior",
     "ProbabilisticBehavior",
     "FluctuatingBehavior",
+    "WitnessReportPolicy",
+    "TruthfulWitness",
+    "CoalitionWitness",
 ]
 
 
@@ -225,3 +230,57 @@ class FluctuatingBehavior(BehaviorModel):
             f"fluctuating({self.initial_honesty}->{self.later_honesty}"
             f"@{self.switch_time})"
         )
+
+
+class WitnessReportPolicy(abc.ABC):
+    """How a peer answers witness-report requests (its *reporting* ground
+    truth, orthogonal to its defection behaviour).
+
+    Given the peer's true belief about a subject, the policy returns the
+    belief it actually puts on the wire.  Truthful peers forward their
+    belief; coalition members forge inflated beliefs about each other and
+    bad-mouth outsiders — the witness-pollution threat model the discounted
+    aggregation path is built to withstand.
+    """
+
+    @abc.abstractmethod
+    def report(self, subject_id: str, belief: BetaBelief) -> BetaBelief:
+        """The belief reported about ``subject_id`` (possibly forged)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class TruthfulWitness(WitnessReportPolicy):
+    """Reports the peer's true belief unchanged."""
+
+    def report(self, subject_id: str, belief: BetaBelief) -> BetaBelief:
+        return belief
+
+
+@dataclass
+class CoalitionWitness(WitnessReportPolicy):
+    """A Sybil-coalition member's reporting strategy.
+
+    Vouches for fellow coalition members with a fabricated strong-positive
+    belief of ``vouch_strength`` pseudo-observations, and inverts its true
+    belief about everyone else (bad-mouthing).
+    """
+
+    members: FrozenSet[str] = frozenset()
+    vouch_strength: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.vouch_strength <= 0:
+            raise SimulationError(
+                f"vouch_strength must be > 0, got {self.vouch_strength}"
+            )
+        self.members = frozenset(self.members)
+
+    def report(self, subject_id: str, belief: BetaBelief) -> BetaBelief:
+        if subject_id in self.members:
+            return BetaBelief(alpha=1.0 + self.vouch_strength, beta=1.0)
+        return BetaBelief(alpha=belief.beta, beta=belief.alpha)
+
+    def describe(self) -> str:
+        return f"coalition-witness({len(self.members)} members)"

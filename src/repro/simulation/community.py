@@ -11,12 +11,15 @@ welfare, defection losses) plus the data needed to evaluate the trust models
 against the peers' ground-truth honesty.
 
 Trust evidence follows the batched backend data path: outcomes observed
-during a round are queued and flushed to the peers' trust backends in one
-``update_many`` batch per peer at the end of the round (the simulation's
-tick), instead of one callback per interaction.  Decisions within a round
-therefore see the trust state as of the end of the previous round, which
-matches the distributed reality the paper models — reputation data propagates
-between interactions, not within one.
+during a round are queued and flushed in one ``update_many`` batch per peer
+at the end of the round (the simulation's tick), instead of one callback per
+interaction.  *How* those batches reach the backends is the
+:class:`~repro.simulation.evidence.EvidencePlane`'s job: in ``sync`` mode
+(the default) they are applied immediately — today's behaviour — while in
+``async`` mode they travel as messages through the simulated network with
+latency and loss, so trust state lags reality and may permanently miss
+evidence.  Witness reports (second-hand evidence) ride the same plane when
+``witness_count`` is enabled.
 """
 
 from __future__ import annotations
@@ -34,6 +37,8 @@ from repro.marketplace.matching import random_matching, trust_weighted_matching
 from repro.marketplace.protocol import ExchangeOutcome, run_exchange
 from repro.marketplace.strategy import ExchangeStrategy, StrategyContext
 from repro.simulation.churn import ChurnEvent, ChurnModel
+from repro.simulation.evidence import EVIDENCE_MODES, EvidencePlane
+from repro.simulation.network import NetworkCounters
 from repro.simulation.peer import CommunityPeer
 from repro.simulation.rng import RandomStreams
 
@@ -52,6 +57,17 @@ class CommunityConfig:
     defection_penalty: float = 0.0
     seed: int = 0
     max_trades_per_round: Optional[int] = None
+    #: How trust evidence propagates: "sync" applies each round's batches
+    #: immediately (legacy behaviour); "async" routes them through the
+    #: simulated network with latency/loss (the evidence plane).
+    evidence_mode: str = "sync"
+    #: Mean one-way evidence delay in rounds (async mode).
+    evidence_latency: float = 0.0
+    #: Per-message evidence drop probability in [0, 1) (async mode).
+    evidence_loss: float = 0.0
+    #: Witnesses each party asks about its partner after an exchange
+    #: (0 disables witness reporting entirely).
+    witness_count: int = 0
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -66,6 +82,25 @@ class CommunityConfig:
             )
         if self.defection_penalty < 0:
             raise SimulationError("defection_penalty must be >= 0")
+        if self.evidence_mode not in EVIDENCE_MODES:
+            raise SimulationError(
+                f"evidence_mode must be one of {EVIDENCE_MODES}, "
+                f"got {self.evidence_mode!r}"
+            )
+        if self.evidence_latency < 0:
+            raise SimulationError("evidence_latency must be >= 0")
+        if not 0.0 <= self.evidence_loss < 1.0:
+            raise SimulationError("evidence_loss must lie in [0, 1)")
+        if self.evidence_mode == "sync" and (
+            self.evidence_latency > 0 or self.evidence_loss > 0
+        ):
+            # A lossless zero-latency run that *looks* configured for loss is
+            # a silent experiment-design bug; refuse it.
+            raise SimulationError(
+                "evidence_latency/evidence_loss require evidence_mode='async'"
+            )
+        if self.witness_count < 0:
+            raise SimulationError("witness_count must be >= 0")
         if self.valuation_model is None:
             self.valuation_model = MarginValuationModel(
                 cost_low=1.0, cost_high=10.0, margin_low=-0.1, margin_high=0.6
@@ -99,6 +134,15 @@ class CommunityResult:
     ledger: Ledger
     true_honesty: Dict[str, float]
     outcomes: List[ExchangeOutcome] = field(default_factory=list)
+    #: Evidence-plane traffic counters (``None`` for sync runs).
+    evidence_counters: Optional[NetworkCounters] = None
+
+    @property
+    def evidence_delivery_ratio(self) -> float:
+        """Fraction of evidence messages delivered (1.0 for sync runs)."""
+        if self.evidence_counters is None:
+            return 1.0
+        return self.evidence_counters.delivery_ratio
 
     @property
     def completion_rate(self) -> float:
@@ -171,6 +215,14 @@ class CommunitySimulation:
                 "churn with arrivals requires a peer_factory to build new peers"
             )
         self._streams = RandomStreams(self._config.seed)
+        self._evidence = EvidencePlane(
+            mode=self._config.evidence_mode,
+            latency=self._config.evidence_latency,
+            loss=self._config.evidence_loss,
+            rng=self._streams("evidence-network"),
+        )
+        for peer in self._peers:
+            self._evidence.register_peer(peer)
 
     # ------------------------------------------------------------------
     @property
@@ -180,6 +232,10 @@ class CommunitySimulation:
     @property
     def config(self) -> CommunityConfig:
         return self._config
+
+    @property
+    def evidence_plane(self) -> EvidencePlane:
+        return self._evidence
 
     def peer_by_id(self, peer_id: str) -> CommunityPeer:
         for peer in self._peers:
@@ -198,9 +254,13 @@ class CommunitySimulation:
         outcomes: List[ExchangeOutcome] = []
 
         for round_index in range(self._config.rounds):
+            timestamp = float(round_index)
+            # Deliver evidence that has matured by this round *before* any
+            # decision reads trust state; what is still in flight stays
+            # invisible (that is the staleness being modelled).
+            self._evidence.advance(timestamp)
             churn_event = self._apply_churn(round_index)
             round_accounts = CommunityAccounts()
-            timestamp = float(round_index)
             matches = self._build_matches(round_index)
             if self._config.max_trades_per_round is not None:
                 matches = matches[: self._config.max_trades_per_round]
@@ -234,7 +294,12 @@ class CommunitySimulation:
                 )
             )
 
+        # The simulation horizon is `rounds`: evidence maturing within it is
+        # delivered before the result is read; slower messages stay in
+        # flight (and count against the delivery ratio).
+        self._evidence.advance(float(self._config.rounds))
         true_honesty = {peer.peer_id: peer.true_honesty for peer in self._peers}
+        counters = self._evidence.counters
         return CommunityResult(
             strategy_name=self._strategy.describe(),
             accounts=total_accounts,
@@ -242,6 +307,7 @@ class CommunitySimulation:
             ledger=ledger,
             true_honesty=true_honesty,
             outcomes=outcomes,
+            evidence_counters=counters,
         )
 
     # ------------------------------------------------------------------
@@ -251,9 +317,15 @@ class CommunitySimulation:
         if self._churn is None or not self._churn.is_active:
             return None
         factory = self._peer_factory or (lambda _index: None)  # pragma: no cover
-        return self._churn.apply(
+        event = self._churn.apply(
             self._peers, round_index, self._streams("churn"), factory
         )
+        for peer_id in event.departed:
+            self._evidence.unregister_peer(peer_id)
+        for peer in self._peers:
+            if peer.peer_id in event.arrived:
+                self._evidence.register_peer(peer)
+        return event
 
     def _build_listings(self, round_index: int) -> List[Listing]:
         rng = self._streams("valuations")
@@ -316,11 +388,19 @@ class CommunitySimulation:
             )
         except NegotiationError:
             return None
-        context = StrategyContext(
-            supplier_trust_in_consumer=supplier.trust_in(consumer_id, now=timestamp),
-            consumer_trust_in_supplier=consumer.trust_in(
+        if self._config.witness_count > 0:
+            supplier_trust = supplier.trust_in_with_witnesses(
+                consumer_id, now=timestamp
+            )
+            consumer_trust = consumer.trust_in_with_witnesses(
                 listing.supplier_id, now=timestamp
-            ),
+            )
+        else:
+            supplier_trust = supplier.trust_in(consumer_id, now=timestamp)
+            consumer_trust = consumer.trust_in(listing.supplier_id, now=timestamp)
+        context = StrategyContext(
+            supplier_trust_in_consumer=supplier_trust,
+            consumer_trust_in_supplier=consumer_trust,
             supplier_defection_penalty=max(
                 self._config.defection_penalty, supplier.defection_penalty
             ),
@@ -346,12 +426,14 @@ class CommunitySimulation:
     def _flush_observations(
         self, round_outcomes: List[ExchangeOutcome], timestamp: float
     ) -> None:
-        """Flush the round's queued evidence to the trust backends in batches.
+        """Flush the round's queued evidence through the evidence plane.
 
-        Each participant receives its records in one ``record_many`` call
-        (one vectorized ``update_many`` per backend); the false-complaint
-        pass then replays the outcomes in execution order so the complaint
-        RNG stream stays deterministic.
+        Each participant's records form one ``update_many`` payload (one
+        message on the wire in async mode — a drop loses the whole round's
+        evidence for that peer); the false-complaint pass then replays the
+        outcomes in execution order so the complaint RNG stream stays
+        deterministic, and finally witness-report requests go out for the
+        partners just interacted with.
         """
         per_peer: Dict[str, List] = {}
         for outcome in round_outcomes:
@@ -360,7 +442,7 @@ class CommunitySimulation:
             per_peer.setdefault(outcome.supplier_id, []).append(outcome.record)
             per_peer.setdefault(outcome.consumer_id, []).append(outcome.record)
         for peer_id, records in per_peer.items():
-            self.peer_by_id(peer_id).observe_outcomes(records)
+            self._evidence.submit_records(peer_id, records)
         complaint_rng = self._streams("complaints")
         for outcome in round_outcomes:
             record = outcome.record
@@ -372,9 +454,44 @@ class CommunitySimulation:
             # after interactions in which the partner did not defect.
             if record.consumer_honest:
                 supplier.maybe_file_false_complaint(
-                    consumer.peer_id, complaint_rng, timestamp
+                    consumer.peer_id,
+                    complaint_rng,
+                    timestamp,
+                    via=self._evidence.submit_complaint,
                 )
             if record.supplier_honest:
                 consumer.maybe_file_false_complaint(
-                    supplier.peer_id, complaint_rng, timestamp
+                    supplier.peer_id,
+                    complaint_rng,
+                    timestamp,
+                    via=self._evidence.submit_complaint,
+                )
+        if self._config.witness_count > 0:
+            self._request_witness_reports(round_outcomes)
+
+    def _request_witness_reports(
+        self, round_outcomes: List[ExchangeOutcome]
+    ) -> None:
+        """Each party asks sampled witnesses about the partner it just met."""
+        witness_rng = self._streams("witnesses")
+        peer_ids = [peer.peer_id for peer in self._peers]
+        for outcome in round_outcomes:
+            if outcome.record is None:
+                continue
+            for requester_id, subject_id in (
+                (outcome.supplier_id, outcome.consumer_id),
+                (outcome.consumer_id, outcome.supplier_id),
+            ):
+                # Over-sample by the two excluded ids and filter, instead of
+                # materialising an O(peers) candidate list per party.
+                excluded = (requester_id, subject_id)
+                count = min(self._config.witness_count, len(peer_ids) - 2)
+                if count <= 0:
+                    continue
+                drawn = witness_rng.sample(peer_ids, min(count + 2, len(peer_ids)))
+                witnesses = [
+                    peer_id for peer_id in drawn if peer_id not in excluded
+                ][:count]
+                self._evidence.request_witness_reports(
+                    requester_id, witnesses, (subject_id,)
                 )

@@ -1,0 +1,257 @@
+"""The evidence plane: how trust evidence travels between peers.
+
+Historically the community simulation applied every round's interaction
+outcomes to the peers' trust backends synchronously at tick end — evidence
+was never late, never lost, never out of order, which is not how reputation
+data moves through a P2P system.  The :class:`EvidencePlane` makes the
+propagation model explicit and pluggable:
+
+``sync``
+    Evidence (observation batches, complaints, witness reports) is applied
+    immediately — bit-for-bit today's behaviour, the default, and what the
+    backward-compatible tests pin.
+
+``async``
+    Every piece of evidence becomes a :class:`~repro.simulation.network.
+    Message` routed through a :class:`~repro.simulation.network.
+    SimulatedNetwork` bound to a discrete-event engine: observation
+    ``update_many`` payloads, complaint filings and witness-report
+    requests/replies all pay a sampled latency and face a drop probability,
+    so trust state lags reality and may permanently miss evidence.  The
+    driver advances the plane's clock once per tick
+    (:meth:`EvidencePlane.advance`), delivering everything that has matured.
+
+The plane carries three message kinds:
+
+* ``evidence`` — a batch of :class:`~repro.reputation.records.
+  InteractionRecord`s for one peer's backends (the ``update_many`` payload);
+* ``complaint`` — a complaint filing routed to the community complaint sink;
+* ``witness-request`` / ``witness-reply`` — a request for beliefs about a
+  set of subjects and the witness's (policy-filtered) answer, landing in the
+  requester's witness inbox for the next trust query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import (
+    ExponentialLatency,
+    LatencyModel,
+    Message,
+    NetworkCounters,
+    SimulatedNetwork,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (peer imports us)
+    from repro.simulation.peer import CommunityPeer
+
+__all__ = ["EVIDENCE_MODES", "EvidencePlane"]
+
+EVIDENCE_MODES = ("sync", "async")
+
+#: Pseudo-recipient for complaint filings (the community complaint system).
+COMPLAINT_SINK = "__complaint-sink__"
+
+
+class EvidencePlane:
+    """Routes trust evidence between peers, synchronously or over the network.
+
+    Parameters
+    ----------
+    mode:
+        ``"sync"`` (apply immediately) or ``"async"`` (route as messages).
+    latency:
+        Mean one-way delay in simulation-time units (rounds).  With the
+        default exponential latency model a mean of ``1.0`` roughly preserves
+        the sync plane's evidence-next-round cadence, larger values make
+        trust state progressively staler.
+    loss:
+        Per-message drop probability in ``[0, 1)`` — lost evidence never
+        arrives and is never retransmitted.
+    latency_model:
+        Overrides the latency distribution built from ``latency``.
+    rng:
+        Drives loss sampling and latency draws (deterministic experiments
+        hand in a seeded stream).
+    """
+
+    def __init__(
+        self,
+        mode: str = "sync",
+        latency: float = 0.0,
+        loss: float = 0.0,
+        latency_model: Optional[LatencyModel] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if mode not in EVIDENCE_MODES:
+            raise SimulationError(
+                f"evidence mode must be one of {EVIDENCE_MODES}, got {mode!r}"
+            )
+        if latency < 0:
+            raise SimulationError(f"evidence latency must be >= 0, got {latency}")
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError(f"evidence loss must lie in [0, 1), got {loss}")
+        self._mode = mode
+        self._peers: Dict[str, "CommunityPeer"] = {}
+        self._engine: Optional[SimulationEngine] = None
+        self._network: Optional[SimulatedNetwork] = None
+        if mode == "async":
+            if latency_model is None:
+                latency_model = ExponentialLatency(
+                    mean=max(latency, 1e-9), minimum=0.0
+                )
+            self._engine = SimulationEngine()
+            self._network = SimulatedNetwork(
+                self._engine,
+                latency=latency_model,
+                loss_probability=loss,
+                rng=rng if rng is not None else random.Random(0),
+            )
+            self._network.register(COMPLAINT_SINK, self._handle_complaint)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def is_async(self) -> bool:
+        return self._mode == "async"
+
+    @property
+    def counters(self) -> Optional[NetworkCounters]:
+        """Traffic counters (``None`` in sync mode — nothing is on the wire)."""
+        return self._network.counters if self._network is not None else None
+
+    @property
+    def pending_messages(self) -> int:
+        """Evidence messages still in flight."""
+        return self._engine.pending_events if self._engine is not None else 0
+
+    # ------------------------------------------------------------------
+    # Peer registration
+    # ------------------------------------------------------------------
+    def register_peer(self, peer: "CommunityPeer") -> None:
+        self._peers[peer.peer_id] = peer
+        if self._network is not None:
+            self._network.register(peer.peer_id, self._handle_message)
+
+    def unregister_peer(self, peer_id: str) -> None:
+        """Remove a departed peer; in-flight evidence to it becomes undeliverable."""
+        self._peers.pop(peer_id, None)
+        if self._network is not None:
+            self._network.unregister(peer_id)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def advance(self, now: float) -> int:
+        """Deliver every message that has matured by ``now`` (async only)."""
+        if self._engine is None or now < self._engine.now:
+            return 0
+        return self._engine.run_until(now)
+
+    # ------------------------------------------------------------------
+    # Evidence submission
+    # ------------------------------------------------------------------
+    def submit_records(self, recipient_id: str, records: Sequence) -> None:
+        """Route one peer's ``update_many`` payload (a record batch).
+
+        Sync: applied to the peer's backends immediately.  Async: one
+        message on the wire — a single loss event costs the whole batch,
+        matching the batched flush unit.
+        """
+        if not records:
+            return
+        if self._network is None:
+            peer = self._peers.get(recipient_id)
+            if peer is not None:
+                peer.observe_outcomes(records)
+            return
+        self._network.send(
+            recipient_id, recipient_id, tuple(records), kind="evidence"
+        )
+
+    def submit_complaint(
+        self, filer: "CommunityPeer", accused_id: str, timestamp: float = 0.0
+    ) -> None:
+        """Route a complaint filing through the plane to the complaint system."""
+        if self._network is None:
+            filer.reputation.file_complaint(accused_id, timestamp=timestamp)
+            return
+        # The payload carries the filer itself (not just its id): a complaint
+        # already in flight still reaches the shared store even when the
+        # filer churns out before the message matures.
+        self._network.send(
+            filer.peer_id,
+            COMPLAINT_SINK,
+            (filer, accused_id, timestamp),
+            kind="complaint",
+        )
+
+    def request_witness_reports(
+        self,
+        requester_id: str,
+        witness_ids: Sequence[str],
+        subject_ids: Sequence[str],
+    ) -> None:
+        """Ask ``witness_ids`` for their beliefs about ``subject_ids``.
+
+        Sync: replies land in the requester's witness inbox immediately.
+        Async: one request message per witness, one reply message back —
+        either leg can be dropped or delayed.
+        """
+        subjects = tuple(subject_ids)
+        if not subjects:
+            return
+        for witness_id in witness_ids:
+            if witness_id == requester_id:
+                continue
+            if self._network is None:
+                witness = self._peers.get(witness_id)
+                requester = self._peers.get(requester_id)
+                if witness is None or requester is None:
+                    continue
+                reports = witness.build_witness_reports(subjects)
+                if reports:
+                    requester.receive_witness_reports(witness_id, reports)
+                continue
+            self._network.send(
+                requester_id,
+                witness_id,
+                (requester_id, subjects),
+                kind="witness-request",
+            )
+
+    # ------------------------------------------------------------------
+    # Message handling (async deliveries)
+    # ------------------------------------------------------------------
+    def _handle_message(self, message: Message) -> None:
+        peer = self._peers.get(message.recipient_id)
+        if peer is None:
+            return
+        if message.kind == "evidence":
+            peer.observe_outcomes(list(message.payload))
+        elif message.kind == "witness-request":
+            requester_id, subjects = message.payload
+            reports = peer.build_witness_reports(subjects)
+            if reports and self._network is not None:
+                self._network.send(
+                    peer.peer_id,
+                    requester_id,
+                    (peer.peer_id, tuple(reports)),
+                    kind="witness-reply",
+                )
+        elif message.kind == "witness-reply":
+            witness_id, reports = message.payload
+            peer.receive_witness_reports(witness_id, reports)
+
+    def _handle_complaint(self, message: Message) -> None:
+        filer, accused_id, timestamp = message.payload
+        filer.reputation.file_complaint(accused_id, timestamp=timestamp)

@@ -23,6 +23,7 @@ __all__ = [
     "FixedLatency",
     "UniformLatency",
     "ExponentialLatency",
+    "NetworkCounters",
     "SimulatedNetwork",
 ]
 
@@ -94,7 +95,13 @@ class ExponentialLatency(LatencyModel):
 
 @dataclass
 class NetworkCounters:
-    """Traffic counters of a simulated network."""
+    """Traffic counters of a simulated network.
+
+    ``dropped`` (sampled loss) and ``undeliverable`` (unknown recipient) are
+    tracked separately from ``delivered`` so evidence-loss experiments can
+    report honest delivery ratios; messages still scheduled but not yet
+    delivered show up as :attr:`in_flight`.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -107,6 +114,29 @@ class NetworkCounters:
         if self.delivered == 0:
             return 0.0
         return self.total_latency / self.delivered
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but neither delivered nor lost (yet)."""
+        return self.sent - self.delivered - self.dropped - self.undeliverable
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of sent messages actually delivered (1.0 when idle).
+
+        In-flight messages count against the ratio: evidence that has not
+        arrived is evidence the recipient does not have.
+        """
+        if self.sent == 0:
+            return 1.0
+        return self.delivered / self.sent
+
+    @property
+    def loss_ratio(self) -> float:
+        """Fraction of sent messages definitively lost (dropped/undeliverable)."""
+        if self.sent == 0:
+            return 0.0
+        return (self.dropped + self.undeliverable) / self.sent
 
 
 class SimulatedNetwork:

@@ -29,7 +29,11 @@ from repro.trust.backend import (
 from repro.trust.aggregation import (
     WitnessReport,
     combine_beta_evidence,
+    combine_beta_evidence_matrix,
     pessimistic_trust,
+    reports_to_matrix,
+    stack_witness_beliefs,
+    validate_witness_matrix,
     weighted_mean_trust,
 )
 from repro.trust.beta import BetaBelief, BetaTrustModel
@@ -91,6 +95,10 @@ __all__ = [
     # aggregation
     "WitnessReport",
     "combine_beta_evidence",
+    "combine_beta_evidence_matrix",
+    "stack_witness_beliefs",
+    "reports_to_matrix",
+    "validate_witness_matrix",
     "weighted_mean_trust",
     "pessimistic_trust",
     # metrics

@@ -10,12 +10,18 @@ schemes behind a single :class:`TrustBackend` interface with **batch**
 methods:
 
 * :meth:`TrustBackend.update_many` ingests a whole batch of
-  :class:`TrustObservation` records at once, and
+  :class:`TrustObservation` records at once,
 * :meth:`TrustBackend.scores_for` answers a whole batch of trust queries as a
-  numpy vector,
+  numpy vector, and
+* :meth:`TrustBackend.aggregate_witness_reports` folds a whole witness-belief
+  matrix (second-hand evidence, discounted per witness) into the backend's
+  direct evidence in one vectorized pass — the evidence-plane query path that
+  replaces merging scalar beliefs witness by witness,
 
-both backed by contiguous numpy arrays indexed through an interned peer-id
-table instead of per-peer dict-of-list lookups.  The simulation layer queues
+all backed by contiguous numpy arrays indexed through an interned peer-id
+table instead of per-peer dict-of-list lookups.  Long runs can checkpoint a
+backend with :meth:`TrustBackend.snapshot` (a dict of numpy arrays including
+the interned peer-id table) and resume via :meth:`TrustBackend.restore`.  The simulation layer queues
 observations during a tick and flushes them in one ``update_many`` call; the
 decision layer reads whole score vectors for candidate partners.
 
@@ -55,6 +61,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import TrustModelError
+from repro.trust.aggregation import (
+    WitnessReport,
+    combine_beta_evidence,
+    combine_beta_evidence_matrix,
+    validate_witness_matrix,
+)
 from repro.trust.beta import BetaBelief, BetaTrustModel
 from repro.trust.complaint import ComplaintStore, LocalComplaintStore
 from repro.trust.evidence import Complaint, Observation
@@ -158,6 +170,14 @@ class _PeerIndex:
     def names(self) -> Tuple[str, ...]:
         return tuple(self._names)
 
+    @classmethod
+    def from_names(cls, names: Iterable[str]) -> "_PeerIndex":
+        """Rebuild an index from a snapshot's name table (order-preserving)."""
+        index = cls()
+        for name in names:
+            index.intern(str(name))
+        return index
+
 
 def _grow(array: np.ndarray, size: int) -> np.ndarray:
     """Return ``array`` grown (amortised doubling) to hold ``size`` entries."""
@@ -202,17 +222,63 @@ class TrustBackend:
         """Vector of trust estimates, aligned with ``subject_ids``."""
         raise NotImplementedError
 
+    def aggregate_witness_reports(
+        self,
+        subject_ids: Sequence[str],
+        witness_belief_matrix: np.ndarray,
+        discount_vector: np.ndarray,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        """Trust estimates combining direct evidence with witness reports.
+
+        ``witness_belief_matrix`` has shape ``(W, S, 2)``: witness ``w``'s
+        report about subject ``s``.  For the beta-family backends a report is
+        a ``(alpha, beta)`` posterior and a witness's evidence counts beyond
+        the uniform prior are scaled by ``discount_vector[w]`` (the trust
+        placed in that witness) before being added to the backend's own
+        posterior — the vectorized equivalent of
+        :func:`repro.trust.aggregation.combine_beta_evidence`.  For the
+        complaint backend a report is a ``(received, filed)`` complaint-count
+        pair and the discounts weight the per-witness count sums.  ``W`` may
+        be zero, in which case the result equals :meth:`scores_for`.
+        """
+        raise NotImplementedError
+
     def known_subjects(self) -> Tuple[str, ...]:
         """Subjects the backend holds evidence about."""
         raise NotImplementedError
 
-    def snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
+    def scores_snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
         """Trust estimates for every known subject."""
         subjects = self.known_subjects()
         if not subjects:
             return {}
         scores = self.scores_for(subjects, now=now)
         return {subject: float(score) for subject, score in zip(subjects, scores)}
+
+    # -- persistence -----------------------------------------------------
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Serialise the backend's state as a dict of numpy arrays.
+
+        The snapshot round-trips through :meth:`restore`: it contains the
+        evidence arrays *and* the interned peer-id table, so a restored
+        backend answers every query exactly as the original did.  Keys are
+        backend-specific; every snapshot carries a ``"backend"`` entry naming
+        the producing backend so mismatched restores fail loudly.
+        """
+        raise NotImplementedError
+
+    def restore(self, state: Dict[str, np.ndarray]) -> None:
+        """Replace the backend's state with a :meth:`snapshot` payload."""
+        raise NotImplementedError
+
+    def _check_snapshot_backend(self, state: Dict[str, np.ndarray]) -> None:
+        recorded = state.get("backend")
+        if recorded is None or str(np.asarray(recorded).item()) != self.name:
+            raise TrustModelError(
+                f"snapshot was taken by backend {recorded!r}, "
+                f"cannot restore into {self.name!r}"
+            )
 
     def describe(self) -> str:
         return self.name
@@ -271,9 +337,10 @@ class BetaTrustBackend(TrustBackend):
         np.add.at(self._beta, idx[~honest], weights[~honest])
         np.add.at(self._count, idx, 1)
 
-    def scores_for(
+    def beliefs_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior ``(alpha, beta)`` vectors aligned with ``subject_ids``."""
         get = self._index.get
         rows = np.fromiter(
             (-1 if (i := get(s)) is None else i for s in subject_ids),
@@ -285,6 +352,25 @@ class BetaTrustBackend(TrustBackend):
         known = rows >= 0
         alpha[known] += self._alpha[rows[known]]
         beta[known] += self._beta[rows[known]]
+        return alpha, beta
+
+    def scores_for(
+        self, subject_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        alpha, beta = self.beliefs_for(subject_ids, now=now)
+        return alpha / (alpha + beta)
+
+    def aggregate_witness_reports(
+        self,
+        subject_ids: Sequence[str],
+        witness_belief_matrix: np.ndarray,
+        discount_vector: np.ndarray,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        alpha, beta = self.beliefs_for(subject_ids, now=now)
+        alpha, beta = combine_beta_evidence_matrix(
+            alpha, beta, witness_belief_matrix, discount_vector
+        )
         return alpha / (alpha + beta)
 
     def belief(self, subject_id: str, now: Optional[float] = None) -> BetaBelief:
@@ -307,6 +393,26 @@ class BetaTrustBackend(TrustBackend):
 
     def known_subjects(self) -> Tuple[str, ...]:
         return self._index.names()
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        size = len(self._index)
+        return {
+            "backend": np.array(self.name),
+            "peer_ids": np.array(self._index.names(), dtype=object),
+            "prior": np.array([self._prior_alpha, self._prior_beta]),
+            "alpha": self._alpha[:size].copy(),
+            "beta": self._beta[:size].copy(),
+            "count": self._count[:size].copy(),
+        }
+
+    def restore(self, state: Dict[str, np.ndarray]) -> None:
+        self._check_snapshot_backend(state)
+        self._prior_alpha, self._prior_beta = (float(p) for p in state["prior"])
+        self._index = _PeerIndex.from_names(state["peer_ids"])
+        self._alpha = np.asarray(state["alpha"], dtype=np.float64).copy()
+        self._beta = np.asarray(state["beta"], dtype=np.float64).copy()
+        self._count = np.asarray(state["count"], dtype=np.int64).copy()
+        self._ensure_capacity()
 
 
 class DecayTrustBackend(TrustBackend):
@@ -394,9 +500,10 @@ class DecayTrustBackend(TrustBackend):
         age = np.maximum(0.0, now - self._ref[rows])
         return np.power(0.5, age / self._half_life)
 
-    def scores_for(
+    def beliefs_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
-    ) -> np.ndarray:
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Decayed posterior ``(alpha, beta)`` vectors for ``subject_ids``."""
         get = self._index.get
         rows = np.fromiter(
             (-1 if (i := get(s)) is None else i for s in subject_ids),
@@ -410,6 +517,27 @@ class DecayTrustBackend(TrustBackend):
             factor = self._decay_to(rows[known], now)
             alpha[known] += self._alpha[rows[known]] * factor
             beta[known] += self._beta[rows[known]] * factor
+        return alpha, beta
+
+    def scores_for(
+        self, subject_ids: Sequence[str], now: Optional[float] = None
+    ) -> np.ndarray:
+        alpha, beta = self.beliefs_for(subject_ids, now=now)
+        return alpha / (alpha + beta)
+
+    def aggregate_witness_reports(
+        self,
+        subject_ids: Sequence[str],
+        witness_belief_matrix: np.ndarray,
+        discount_vector: np.ndarray,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        # Witness reports are taken at face value at their reported counts;
+        # only the backend's *direct* evidence is decayed to ``now``.
+        alpha, beta = self.beliefs_for(subject_ids, now=now)
+        alpha, beta = combine_beta_evidence_matrix(
+            alpha, beta, witness_belief_matrix, discount_vector
+        )
         return alpha / (alpha + beta)
 
     def belief(self, subject_id: str, now: Optional[float] = None) -> BetaBelief:
@@ -431,6 +559,30 @@ class DecayTrustBackend(TrustBackend):
 
     def known_subjects(self) -> Tuple[str, ...]:
         return self._index.names()
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        size = len(self._index)
+        return {
+            "backend": np.array(self.name),
+            "peer_ids": np.array(self._index.names(), dtype=object),
+            "prior": np.array([self._prior_alpha, self._prior_beta]),
+            "half_life": np.array([self._half_life]),
+            "alpha": self._alpha[:size].copy(),
+            "beta": self._beta[:size].copy(),
+            "ref": self._ref[:size].copy(),
+            "count": self._count[:size].copy(),
+        }
+
+    def restore(self, state: Dict[str, np.ndarray]) -> None:
+        self._check_snapshot_backend(state)
+        self._prior_alpha, self._prior_beta = (float(p) for p in state["prior"])
+        self._half_life = float(state["half_life"][0])
+        self._index = _PeerIndex.from_names(state["peer_ids"])
+        self._alpha = np.asarray(state["alpha"], dtype=np.float64).copy()
+        self._beta = np.asarray(state["beta"], dtype=np.float64).copy()
+        self._ref = np.asarray(state["ref"], dtype=np.float64).copy()
+        self._count = np.asarray(state["count"], dtype=np.int64).copy()
+        self._ensure_capacity()
 
 
 class ComplaintTrustBackend(TrustBackend):
@@ -603,15 +755,32 @@ class ComplaintTrustBackend(TrustBackend):
             self._in_store[self._index.intern(agent_id)] = True
 
     # -- assessment -------------------------------------------------------
-    def _metrics(self) -> np.ndarray:
-        size = len(self._index)
-        received = self._received[:size]
-        filed = self._filed[:size]
+    def _metric_of(self, received: np.ndarray, filed: np.ndarray) -> np.ndarray:
+        """The configured decision metric over count vectors."""
         if self._metric_mode == "product":
             return received * filed
         if self._metric_mode == "received":
             return received.copy()
         return received * (1.0 + filed)
+
+    def _metrics(self) -> np.ndarray:
+        size = len(self._index)
+        return self._metric_of(self._received[:size], self._filed[:size])
+
+    def _rows_for(self, subject_ids: Sequence[str]) -> np.ndarray:
+        """Array rows for ``subject_ids`` (-1 marks unknown subjects)."""
+        get = self._index.get
+        return np.fromiter(
+            (-1 if (i := get(s)) is None else i for s in subject_ids),
+            dtype=np.int64,
+            count=len(subject_ids),
+        )
+
+    def _scores_from_metrics(self, metrics: np.ndarray) -> np.ndarray:
+        """Map decision metrics to [0, 1] trust against the community reference."""
+        reference = self._reference()
+        scale = self._trust_scale * max(1.0, reference)
+        return np.exp(-metrics / scale)
 
     def reference_metric(self) -> float:
         """The community's median complaint metric (0 when no data)."""
@@ -636,19 +805,49 @@ class ComplaintTrustBackend(TrustBackend):
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> np.ndarray:
         self._sync()
-        reference = self._reference()
         metrics = self._metrics()
-        get = self._index.get
-        rows = np.fromiter(
-            (-1 if (i := get(s)) is None else i for s in subject_ids),
-            dtype=np.int64,
-            count=len(subject_ids),
-        )
+        rows = self._rows_for(subject_ids)
         subject_metrics = np.zeros(len(rows))
         known = rows >= 0
         subject_metrics[known] = metrics[rows[known]]
-        scale = self._trust_scale * max(1.0, reference)
-        return np.exp(-subject_metrics / scale)
+        return self._scores_from_metrics(subject_metrics)
+
+    def aggregate_witness_reports(
+        self,
+        subject_ids: Sequence[str],
+        witness_belief_matrix: np.ndarray,
+        discount_vector: np.ndarray,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        """Trust from witness-reported complaint counts, discounted per witness.
+
+        Each witness reports ``(received, filed)`` complaint counts about
+        every queried subject (the data a replica of the distributed
+        complaint store would hand back).  The aggregate is the backend's
+        *own* counters plus the discount-scaled sum of the reports —
+        complaints are purely negative evidence, so trusted reports can only
+        add to the count while a distrusted (or zero-trust) witness
+        contributes nothing, and no report can whitewash complaints the
+        backend already holds.  The aggregated counts then pass through the
+        same metric → ``exp`` mapping as :meth:`scores_for`, against the
+        backend's current community reference.  With no reports the query
+        equals :meth:`scores_for`.
+        """
+        matrix, discounts = validate_witness_matrix(
+            len(subject_ids), witness_belief_matrix, discount_vector, positive=False
+        )
+        self._sync()
+        rows = self._rows_for(subject_ids)
+        received = np.zeros(len(rows))
+        filed = np.zeros(len(rows))
+        known = rows >= 0
+        received[known] = self._received[rows[known]]
+        filed[known] = self._filed[rows[known]]
+        if matrix.shape[0] > 0:
+            reported = np.einsum("w,wsk->sk", discounts, matrix)
+            received = received + reported[:, 0]
+            filed = filed + reported[:, 1]
+        return self._scores_from_metrics(self._metric_of(received, filed))
 
     def trust(self, subject_id: str, now: Optional[float] = None) -> float:
         return self.score(subject_id, now=now)
@@ -672,6 +871,68 @@ class ComplaintTrustBackend(TrustBackend):
         in_store = self._in_store[:size]
         names = self._index.names()
         return tuple(names[row] for row in range(size) if in_store[row])
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Counters plus the full complaint log (needed for the round-trip).
+
+        Requires a store exposing ``all_complaints`` (the local store and
+        this backend's own fast path do); distributed stores checkpoint
+        through their own substrate instead.
+        """
+        if not hasattr(self._store, "all_complaints"):
+            raise TrustModelError(
+                "complaint store does not expose all_complaints(); "
+                "snapshot it through its own persistence instead"
+            )
+        self._sync()
+        complaints = tuple(self._store.all_complaints())  # type: ignore[attr-defined]
+        size = len(self._index)
+        return {
+            "backend": np.array(self.name),
+            "peer_ids": np.array(self._index.names(), dtype=object),
+            "config": np.array([self._tolerance_factor, self._trust_scale]),
+            "metric_mode": np.array(self._metric_mode),
+            "received": self._received[:size].copy(),
+            "filed": self._filed[:size].copy(),
+            "in_store": self._in_store[:size].copy(),
+            "complainants": np.array(
+                [c.complainant_id for c in complaints], dtype=object
+            ),
+            "accused": np.array([c.accused_id for c in complaints], dtype=object),
+            "timestamps": np.array([c.timestamp for c in complaints]),
+        }
+
+    def restore(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore counters and refill a private local complaint store.
+
+        The restored backend owns a fresh :class:`LocalComplaintStore` with
+        the snapshot's complaint log; callers sharing a store community-wide
+        re-share the restored backend itself (it *is* a complaint store).
+        """
+        self._check_snapshot_backend(state)
+        self._tolerance_factor, self._trust_scale = (
+            float(v) for v in state["config"]
+        )
+        self._metric_mode = str(np.asarray(state["metric_mode"]).item())
+        self._index = _PeerIndex.from_names(state["peer_ids"])
+        self._received = np.asarray(state["received"], dtype=np.float64).copy()
+        self._filed = np.asarray(state["filed"], dtype=np.float64).copy()
+        self._in_store = np.asarray(state["in_store"], dtype=bool).copy()
+        store = LocalComplaintStore()
+        for complainant, accused, timestamp in zip(
+            state["complainants"], state["accused"], state["timestamps"]
+        ):
+            store.file_complaint(
+                Complaint(
+                    complainant_id=str(complainant),
+                    accused_id=str(accused),
+                    timestamp=float(timestamp),
+                )
+            )
+        self._store = store
+        self._sized = True
+        self._synced_len = len(store)
+        self._ensure_capacity()
 
 
 class ScalarBetaBackendAdapter(TrustBackend):
@@ -710,6 +971,39 @@ class ScalarBetaBackendAdapter(TrustBackend):
             dtype=np.float64,
             count=len(subject_ids),
         )
+
+    def aggregate_witness_reports(
+        self,
+        subject_ids: Sequence[str],
+        witness_belief_matrix: np.ndarray,
+        discount_vector: np.ndarray,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        """Scalar reference: fold the matrix through ``combine_beta_evidence``.
+
+        One Python-level merge per (witness, subject) pair — the pre-refactor
+        data path, kept as the agreement oracle and benchmark baseline.
+        """
+        matrix, discounts = validate_witness_matrix(
+            len(subject_ids), witness_belief_matrix, discount_vector
+        )
+        scores = np.zeros(len(subject_ids))
+        for column, subject_id in enumerate(subject_ids):
+            reports = [
+                WitnessReport(
+                    witness_id=f"witness-{row}",
+                    belief=BetaBelief(
+                        float(matrix[row, column, 0]), float(matrix[row, column, 1])
+                    ),
+                    witness_trust=float(discounts[row]),
+                )
+                for row in range(matrix.shape[0])
+            ]
+            combined = combine_beta_evidence(
+                self._model.belief(subject_id, now=now), reports
+            )
+            scores[column] = combined.mean
+        return scores
 
     def belief(self, subject_id: str, now: Optional[float] = None) -> BetaBelief:
         return self._model.belief(subject_id, now=now)

@@ -160,6 +160,13 @@ _BUILTIN_DEFINITIONS = (
         builder=_builder("mixed-goods"),
         tags=("stress", "marketplace", "heterogeneous"),
     ),
+    ScenarioDefinition(
+        name="sybil-coalition",
+        summary="Fake-identity coalition vouches for itself via forged "
+        "witness reports; stresses discounted witness aggregation.",
+        builder=_builder("sybil-coalition"),
+        tags=("stress", "sybil", "witness-plane", "evidence-plane"),
+    ),
 )
 
 for _definition in _BUILTIN_DEFINITIONS:

@@ -16,12 +16,13 @@ The discoverable catalogue over these builders lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional
 
 from repro.exceptions import WorkloadError
 from repro.marketplace.strategy import ExchangeStrategy, TrustAwareStrategy
 from repro.reputation.manager import TrustMethod
+from repro.simulation.behaviors import CoalitionWitness, RationalDefectorBehavior
 from repro.simulation.churn import ChurnModel
 from repro.simulation.community import CommunityConfig, CommunitySimulation
 from repro.simulation.peer import CommunityPeer
@@ -42,6 +43,7 @@ SCENARIO_NAMES = (
     "high-churn",
     "collusive-witness",
     "mixed-goods",
+    "sybil-coalition",
 )
 
 
@@ -86,6 +88,10 @@ def build_scenario(
     defection_penalty: float = 0.0,
     seed: int = 0,
     backend: Optional[str] = None,
+    evidence_mode: str = "sync",
+    evidence_latency: float = 0.0,
+    evidence_loss: float = 0.0,
+    witness_count: Optional[int] = None,
 ) -> ScenarioSpec:
     """Construct one of the named scenarios.
 
@@ -98,16 +104,25 @@ def build_scenario(
     malicious minority that coordinates spurious complaints against honest
     peers (the complaint backend's threat model); ``mixed-goods`` — a
     marketplace mixing physical, digital and service valuations in one
-    bundle.
+    bundle; ``sybil-coalition`` — a coalition of fake identities that vouch
+    for each other through forged witness reports (the discounted
+    witness-aggregation path's threat model).
 
     ``backend`` selects the trust backend every peer consults (``beta``,
-    ``complaint``, ``decay`` or ``combined``; default ``beta``).
+    ``complaint``, ``decay`` or ``combined``; default ``beta``).  The
+    evidence-plane knobs (``evidence_mode``/``evidence_latency``/
+    ``evidence_loss``) choose between today's synchronous evidence flush and
+    asynchronous propagation over the simulated network; ``witness_count``
+    overrides how many witnesses each party polls after an exchange
+    (``None`` keeps the scenario's own default — 0 everywhere except
+    ``sybil-coalition``).
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
             f"unknown scenario {name!r}; valid names: {SCENARIO_NAMES}"
         )
     trust_method = _resolve_trust_method(backend)
+    scenario_witness_count = 0
     # One vectorized complaint backend shared by the whole community is the
     # community complaint store: every peer writes and reads through it, so
     # counters are updated incrementally with no cache rebuilds.
@@ -220,6 +235,31 @@ def build_scenario(
             defection_penalty=defection_penalty,
             seed=seed,
         )
+    elif name == "sybil-coalition":
+        # A coalition of fake identities: they defect like rational cheaters,
+        # flood complaints, and — the distinguishing attack — answer witness
+        # requests with forged vouches for each other and bad-mouthing of
+        # everyone else.  Witness polling is on by default so the discounted
+        # aggregation path is actually exercised.
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.9 - dishonest_fraction),
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=0.1,
+            probabilistic_honesty=0.9,
+            false_complaint_probability=0.6,
+            defection_penalty=defection_penalty,
+            id_prefix="sybil",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=6,
+            valuation_model=valuation_workload("digital"),
+            matching="trust",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+        scenario_witness_count = 4
     else:  # mixed-goods
         spec = PopulationSpec(
             size=size,
@@ -241,9 +281,27 @@ def build_scenario(
             seed=seed,
         )
 
+    config = replace(
+        config,
+        evidence_mode=evidence_mode,
+        evidence_latency=evidence_latency,
+        evidence_loss=evidence_loss,
+        witness_count=(
+            witness_count if witness_count is not None else scenario_witness_count
+        ),
+    )
     peers = build_population(
         spec, complaint_store=shared_store, seed=seed, trust_method=trust_method
     )
+    if name == "sybil-coalition":
+        coalition_peers = [
+            peer
+            for peer in peers
+            if isinstance(peer.behavior, RationalDefectorBehavior)
+        ]
+        coalition_ids = frozenset(peer.peer_id for peer in coalition_peers)
+        for peer in coalition_peers:
+            peer.witness_policy = CoalitionWitness(members=coalition_ids)
     return ScenarioSpec(
         name=name,
         peers=peers,

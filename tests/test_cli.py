@@ -151,6 +151,56 @@ class TestRunCommand:
         with pytest.raises(SystemExit):
             main(["run"])
 
+    def test_async_evidence_run_reports_delivery_ratio(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "sybil-coalition",
+                "--size", "10",
+                "--rounds", "4",
+                "--evidence-mode", "async",
+                "--evidence-latency", "2.0",
+                "--evidence-loss", "0.3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Evidence plane:" in output
+        assert "delivery ratio" in output
+
+    def test_sync_run_omits_evidence_plane_line(self, capsys):
+        exit_code = main(
+            ["run", "--scenario", "ebay", "--size", "8", "--rounds", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Evidence plane:" not in output
+
+    def test_witness_override_accepted(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "sybil-coalition",
+                "--size", "10",
+                "--rounds", "3",
+                "--witnesses", "0",
+            ]
+        )
+        assert exit_code == 0
+
+    def test_invalid_evidence_loss_rejected(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "ebay",
+                "--size", "8",
+                "--rounds", "2",
+                "--evidence-mode", "async",
+                "--evidence-loss", "1.5",
+            ]
+        )
+        assert exit_code == 2
+
 
 class TestParser:
     def test_requires_subcommand(self):

@@ -114,7 +114,7 @@ class TestBetaAgreement:
                 TrustObservation("o", "b", False),
             ]
         )
-        snapshot = backend.snapshot()
+        snapshot = backend.scores_snapshot()
         assert set(snapshot) == {"a", "b"}
         assert snapshot["a"] > snapshot["b"]
 

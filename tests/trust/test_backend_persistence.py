@@ -1,0 +1,187 @@
+"""Snapshot/restore round-trips for the trust backends.
+
+Long evidence-plane runs checkpoint backend state as a dict of numpy arrays
+(evidence arrays plus the interned peer-id table).  A restored backend must
+answer every query exactly as the original, keep accepting updates, and a
+snapshot taken by one backend must refuse to restore into another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrustModelError
+from repro.trust.backend import (
+    BetaTrustBackend,
+    ComplaintTrustBackend,
+    DecayTrustBackend,
+    TrustObservation,
+)
+from repro.trust.complaint import LocalComplaintStore
+from repro.trust.evidence import Complaint
+
+
+def _observations():
+    return [
+        TrustObservation("alice", "bob", True, timestamp=1.0, weight=2.0),
+        TrustObservation("alice", "carol", False, timestamp=2.0),
+        TrustObservation("dave", "bob", False, timestamp=3.0, weight=0.5),
+        TrustObservation("erin", "dave", True, timestamp=4.0),
+        TrustObservation("bob", "alice", False, timestamp=5.0),
+    ]
+
+
+SUBJECTS = ("alice", "bob", "carol", "dave", "erin", "stranger")
+
+
+class TestBetaRoundTrip:
+    def test_round_trip_preserves_scores_and_counts(self):
+        backend = BetaTrustBackend(prior_alpha=2.0, prior_beta=1.0)
+        backend.update_many(_observations())
+        state = backend.snapshot()
+        assert all(isinstance(value, np.ndarray) for value in state.values())
+
+        restored = BetaTrustBackend()
+        restored.restore(state)
+        assert restored.known_subjects() == backend.known_subjects()
+        assert np.allclose(
+            restored.scores_for(SUBJECTS), backend.scores_for(SUBJECTS)
+        )
+        for subject in SUBJECTS:
+            assert restored.observation_count(subject) == backend.observation_count(
+                subject
+            )
+
+    def test_restored_backend_keeps_learning(self):
+        backend = BetaTrustBackend()
+        backend.update_many(_observations())
+        restored = BetaTrustBackend()
+        restored.restore(backend.snapshot())
+        update = TrustObservation("alice", "bob", False, weight=4.0)
+        backend.update(update)
+        restored.update(update)
+        assert np.allclose(
+            restored.scores_for(SUBJECTS), backend.scores_for(SUBJECTS)
+        )
+
+    def test_snapshot_is_a_copy(self):
+        backend = BetaTrustBackend()
+        backend.update_many(_observations())
+        state = backend.snapshot()
+        before = backend.score("bob")
+        state["alpha"][:] = 99.0
+        assert backend.score("bob") == pytest.approx(before)
+
+
+class TestDecayRoundTrip:
+    def test_round_trip_preserves_decayed_scores(self):
+        backend = DecayTrustBackend(half_life=20.0)
+        backend.update_many(_observations())
+        restored = DecayTrustBackend(half_life=999.0)  # overwritten by restore
+        restored.restore(backend.snapshot())
+        assert restored.half_life == backend.half_life
+        for now in (None, 5.0, 60.0):
+            assert np.allclose(
+                restored.scores_for(SUBJECTS, now=now),
+                backend.scores_for(SUBJECTS, now=now),
+            )
+
+    def test_restored_backend_accepts_new_evidence(self):
+        backend = DecayTrustBackend(half_life=20.0)
+        backend.update_many(_observations())
+        restored = DecayTrustBackend()
+        restored.restore(backend.snapshot())
+        late = TrustObservation("alice", "carol", True, timestamp=30.0)
+        backend.update(late)
+        restored.update(late)
+        assert np.allclose(
+            restored.scores_for(SUBJECTS, now=35.0),
+            backend.scores_for(SUBJECTS, now=35.0),
+        )
+
+
+class TestComplaintRoundTrip:
+    def _populated_backend(self):
+        backend = ComplaintTrustBackend(
+            tolerance_factor=3.0, trust_scale=2.0, metric_mode="balanced"
+        )
+        backend.update_many(_observations())
+        backend.file_complaint(
+            Complaint(complainant_id="mallory", accused_id="bob", timestamp=6.0)
+        )
+        return backend
+
+    def test_round_trip_preserves_scores_counts_and_store(self):
+        backend = self._populated_backend()
+        restored = ComplaintTrustBackend()
+        restored.restore(backend.snapshot())
+        assert restored.metric_mode == backend.metric_mode
+        assert restored.tolerance_factor == backend.tolerance_factor
+        assert np.allclose(
+            restored.scores_for(SUBJECTS), backend.scores_for(SUBJECTS)
+        )
+        assert sorted(restored.known_subjects()) == sorted(backend.known_subjects())
+        for subject in SUBJECTS:
+            assert restored.counts(subject) == backend.counts(subject)
+            assert restored.trustworthy(subject) == backend.trustworthy(subject)
+        # The complaint log itself round-trips (the restored backend owns a
+        # private copy of the store).
+        assert len(restored.complaints_about("bob")) == len(
+            backend.complaints_about("bob")
+        )
+
+    def test_restored_backend_accepts_new_complaints(self):
+        backend = self._populated_backend()
+        restored = ComplaintTrustBackend()
+        restored.restore(backend.snapshot())
+        complaint = Complaint(
+            complainant_id="erin", accused_id="carol", timestamp=7.0
+        )
+        backend.file_complaint(complaint)
+        restored.file_complaint(complaint)
+        assert np.allclose(
+            restored.scores_for(SUBJECTS), backend.scores_for(SUBJECTS)
+        )
+
+    def test_unsized_store_without_log_refuses_snapshot(self):
+        class OpaqueStore:
+            def file_complaint(self, complaint):
+                pass
+
+            def complaints_about(self, agent_id):
+                return ()
+
+            def complaints_by(self, agent_id):
+                return ()
+
+            def known_agents(self):
+                return ()
+
+        backend = ComplaintTrustBackend(store=OpaqueStore())
+        with pytest.raises(TrustModelError):
+            backend.snapshot()
+
+
+class TestSnapshotSafety:
+    def test_cross_backend_restore_rejected(self):
+        beta = BetaTrustBackend()
+        beta.update_many(_observations())
+        decay = DecayTrustBackend()
+        with pytest.raises(TrustModelError):
+            decay.restore(beta.snapshot())
+
+    def test_missing_backend_tag_rejected(self):
+        backend = BetaTrustBackend()
+        state = backend.snapshot()
+        del state["backend"]
+        with pytest.raises(TrustModelError):
+            BetaTrustBackend().restore(state)
+
+    def test_empty_backend_round_trips(self):
+        for factory in (BetaTrustBackend, DecayTrustBackend):
+            restored = factory()
+            restored.restore(factory().snapshot())
+            assert restored.known_subjects() == ()
+            assert restored.score("nobody") == pytest.approx(0.5)
+        restored = ComplaintTrustBackend()
+        restored.restore(ComplaintTrustBackend().snapshot())
+        assert restored.score("nobody") == pytest.approx(1.0)

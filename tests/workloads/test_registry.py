@@ -17,8 +17,14 @@ from repro.workloads.scenarios import SCENARIO_NAMES, build_scenario
 
 
 class TestCatalogue:
-    def test_at_least_six_scenarios_registered(self):
-        assert len(list_scenarios()) >= 6
+    def test_at_least_seven_scenarios_registered(self):
+        assert len(list_scenarios()) >= 7
+
+    def test_sybil_coalition_is_discoverable(self):
+        definition = get_scenario("sybil-coalition")
+        assert "sybil" in definition.tags
+        scenario = definition.build(size=10, rounds=3, seed=1)
+        assert scenario.config.witness_count > 0
 
     def test_names_match_legacy_tuple(self):
         assert set(scenario_names()) == set(SCENARIO_NAMES)
