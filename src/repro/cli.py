@@ -46,6 +46,7 @@ from repro.core.safety import verify_sequence
 from repro.exceptions import ReproError
 from repro.marketplace import TrustAwareStrategy
 from repro.reputation.manager import TrustMethod
+from repro.trust import ROUTER_NAMES
 from repro.workloads import (
     SCENARIO_NAMES,
     build_registered_scenario,
@@ -150,6 +151,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--witnesses", type=int, default=None,
                             help="witnesses polled per exchange (default: "
                             "the scenario's own setting)")
+    run_parser.add_argument("--shards", type=int, default=1,
+                            help="partition every trust backend by peer-id "
+                            "range across N shards (1 = unsharded; results "
+                            "are identical for any N)")
+    run_parser.add_argument("--shard-router", choices=ROUTER_NAMES,
+                            default="hash",
+                            help="shard routing strategy: uniform hash or "
+                            "contiguous key ranges (P-Grid style)")
     _add_run_options(run_parser)
 
     tolerance_parser = subparsers.add_parser(
@@ -192,9 +201,14 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0 if plan.agreed else 1
 
 
-def _print_result(scenario_name: str, backend: str, result) -> None:
+def _print_result(
+    scenario_name: str, backend: str, result, shards: int = 1, router: str = "hash"
+) -> None:
     print(f"Scenario:          {scenario_name}")
-    print(f"Backend:           {backend}")
+    if shards > 1:
+        print(f"Backend:           {backend} ({shards} shards, {router} router)")
+    else:
+        print(f"Backend:           {backend}")
     print(f"Strategy:          {result.strategy_name}")
     print(f"Attempted trades:  {result.accounts.attempted}")
     print(f"Completed trades:  {result.accounts.completed}")
@@ -256,9 +270,14 @@ def _command_run(args: argparse.Namespace) -> int:
         evidence_latency=args.evidence_latency,
         evidence_loss=args.evidence_loss,
         witness_count=args.witnesses,
+        shards=args.shards,
+        shard_router=args.shard_router,
     )
     result = scenario.simulation(strategy).run()
-    _print_result(args.scenario, args.backend, result)
+    _print_result(
+        args.scenario, args.backend, result,
+        shards=args.shards, router=args.shard_router,
+    )
     return 0
 
 

@@ -56,6 +56,8 @@ __all__ = [
     "plan_exchange",
     "plan_exchange_or_raise",
     "exists_feasible_sequence",
+    "max_prefix_demand",
+    "exchange_is_schedulable",
     "brute_force_delivery_order",
     "required_total_tolerance",
 ]
@@ -326,6 +328,59 @@ def exists_feasible_sequence(
 ) -> bool:
     """Whether any schedule satisfying the requirements exists."""
     return plan_delivery_order(bundle, price, requirements) is not None
+
+
+def max_prefix_demand(bundle: GoodsBundle) -> float:
+    """Peak ``D + Vs(y)`` along the greedy planner's canonical order.
+
+    This is the bundle's intrinsic demand on the *total* temptation
+    allowance: :func:`plan_delivery_order` succeeds exactly when the
+    boundary conditions hold and this value is (approximately) at most
+    ``A_s + A_c``.  Computing it is independent of the allowances, so a
+    batched candidate screen can price a bundle once and test many
+    allowance pairs against it.
+    """
+    surplus_items = sorted(
+        (good for good in bundle if good.is_surplus_item),
+        key=lambda good: good.supplier_cost,
+    )
+    deficit_items = sorted(
+        (good for good in bundle if not good.is_surplus_item),
+        key=lambda good: good.consumer_value,
+        reverse=True,
+    )
+    demand = 0.0
+    running_deficit = 0.0
+    for good in itertools.chain(surplus_items, deficit_items):
+        demand = max(demand, running_deficit + good.supplier_cost)
+        running_deficit += good.supplier_cost - good.consumer_value
+    return demand
+
+
+def exchange_is_schedulable(
+    bundle: GoodsBundle,
+    price: float,
+    requirements: ExchangeRequirements,
+    prefix_demand: Optional[float] = None,
+) -> bool:
+    """Exact feasibility of :func:`plan_delivery_order`, without the order.
+
+    Decomposes feasibility into the boundary conditions plus the
+    ``max_prefix_demand`` test (pass a precomputed ``prefix_demand`` to
+    amortise it across candidates at different allowances).  Agrees with
+    ``plan_delivery_order(...) is not None`` bit for bit — including the
+    planner's approximate comparisons — which is what lets the community
+    hot path skip planning for infeasible candidates without changing any
+    outcome.
+    """
+    supplier_allowance, consumer_allowance = _effective_allowances(requirements)
+    if not _boundary_conditions_hold(
+        bundle, price, supplier_allowance, consumer_allowance
+    ):
+        return False
+    if prefix_demand is None:
+        prefix_demand = max_prefix_demand(bundle)
+    return approx_le(prefix_demand, supplier_allowance + consumer_allowance)
 
 
 def brute_force_delivery_order(

@@ -12,12 +12,19 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.decision import DecisionMaker, ExpectedLossBudgetPolicy, RiskPolicy
 from repro.core.exchange import ExchangeSequence
 from repro.core.goods import GoodsBundle
-from repro.core.planner import PaymentPolicy
+from repro.core.planner import (
+    PaymentPolicy,
+    exchange_is_schedulable,
+    max_prefix_demand,
+)
+from repro.core.safety import ExchangeRequirements
 from repro.core.trust_aware import PartnerModel, TrustAwareExchangePlanner
 from repro.exceptions import MarketplaceError
 
@@ -58,6 +65,22 @@ class ExchangeStrategy(abc.ABC):
         context: StrategyContext,
     ) -> Optional[ExchangeSequence]:
         """Return a schedule, or ``None`` to decline the trade."""
+
+    def screen_candidates(
+        self,
+        bundles: Sequence[GoodsBundle],
+        prices: Sequence[float],
+        contexts: Sequence[StrategyContext],
+    ) -> np.ndarray:
+        """Batched pre-filter over candidate exchanges.
+
+        Returns a boolean mask aligned with the candidates; ``False`` is a
+        *guarantee* that :meth:`plan` would decline — a screened-out
+        candidate skips planning entirely with identical outcomes.  The
+        default screens nothing (all ``True``); strategies with a cheap
+        exact feasibility test override it.
+        """
+        return np.ones(len(bundles), dtype=bool)
 
     def describe(self) -> str:
         return self.name
@@ -116,6 +139,73 @@ class TrustAwareStrategy(ExchangeStrategy):
         if self._require_agreement:
             return plan.sequence if plan.agreed else None
         return plan.sequence
+
+    def screen_candidates(
+        self,
+        bundles: Sequence[GoodsBundle],
+        prices: Sequence[float],
+        contexts: Sequence[StrategyContext],
+    ) -> np.ndarray:
+        """Vectorized schedulability screen over a batch of candidates.
+
+        Both parties' accepted exposures are computed for the whole batch in
+        one :meth:`DecisionMaker.assess_many` call each, then every candidate
+        is tested against the planner's exact feasibility rule
+        (:func:`~repro.core.planner.exchange_is_schedulable`).  Candidates
+        failing the screen are exactly those for which :meth:`plan` would
+        find no schedule, so skipping them changes no outcome — it only
+        skips the O(n log n) scheduling and payment-chunking work.
+        Candidates that pass may still be declined by the decision gates
+        after planning.
+        """
+        count = len(bundles)
+        if count == 0:
+            return np.ones(0, dtype=bool)
+        supplier_gains = np.array(
+            [
+                max(0.0, price - bundle.total_supplier_cost)
+                for bundle, price in zip(bundles, prices)
+            ]
+        )
+        consumer_gains = np.array(
+            [
+                max(0.0, bundle.total_consumer_value - price)
+                for bundle, price in zip(bundles, prices)
+            ]
+        )
+        supplier_trusts = np.array(
+            [context.supplier_trust_in_consumer for context in contexts]
+        )
+        consumer_trusts = np.array(
+            [context.consumer_trust_in_supplier for context in contexts]
+        )
+        supplier_maker = DecisionMaker(
+            risk_policy=self._supplier_policy, min_trust=self._min_trust
+        )
+        consumer_maker = DecisionMaker(
+            risk_policy=self._consumer_policy, min_trust=self._min_trust
+        )
+        supplier_exposures = supplier_maker.assess_many(
+            supplier_trusts, supplier_gains
+        )
+        consumer_exposures = consumer_maker.assess_many(
+            consumer_trusts, consumer_gains
+        )
+        mask = np.zeros(count, dtype=bool)
+        for index in range(count):
+            requirements = ExchangeRequirements(
+                supplier_defection_penalty=contexts[index].supplier_defection_penalty,
+                consumer_defection_penalty=contexts[index].consumer_defection_penalty,
+                consumer_accepted_exposure=float(consumer_exposures[index]),
+                supplier_accepted_exposure=float(supplier_exposures[index]),
+            )
+            mask[index] = exchange_is_schedulable(
+                bundles[index],
+                float(prices[index]),
+                requirements,
+                prefix_demand=max_prefix_demand(bundles[index]),
+            )
+        return mask
 
     def describe(self) -> str:
         return (

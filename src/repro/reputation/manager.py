@@ -27,17 +27,15 @@ from repro.exceptions import ReputationError
 from repro.reputation.records import InteractionRecord, Rating
 from repro.reputation.reporting import WitnessPool, indirect_scores
 from repro.trust import (
-    BetaTrustBackend,
     BetaTrustModel,
     ComplaintStore,
-    ComplaintTrustBackend,
     ComplaintTrustModel,
     DecayModel,
-    DecayTrustBackend,
     ExponentialDecay,
     ScalarBetaBackendAdapter,
     TrustBackend,
     TrustObservation,
+    create_backend,
 )
 
 __all__ = ["TrustMethod", "ReputationManager"]
@@ -89,6 +87,16 @@ class ReputationManager:
         parameters raises.
     decay_half_life:
         Half life of the DECAY method's backend.
+    shards:
+        Partition every backend this manager creates across ``shards``
+        inner backends (peer-id-range sharding via
+        :class:`~repro.trust.sharding.ShardedBackend`).  ``1`` (the
+        default) keeps the plain single-arena backends; a shared complaint
+        backend supplied from outside keeps whatever sharding it has.
+        Non-exponential decay models fall back to the scalar adapter,
+        which cannot be sharded.
+    shard_router:
+        Routing strategy for sharded backends (``"hash"`` or ``"range"``).
     """
 
     def __init__(
@@ -101,19 +109,32 @@ class ReputationManager:
         complaint_tolerance_factor: Optional[float] = None,
         complaint_metric_mode: Optional[str] = None,
         decay_half_life: float = 100.0,
+        shards: int = 1,
+        shard_router: str = "hash",
     ):
         if not owner_id:
             raise ReputationError("owner_id must be non-empty")
+        if shards < 1:
+            raise ReputationError(f"shards must be >= 1, got {shards}")
         self._owner_id = owner_id
+        self._shards = shards
+        self._shard_router = shard_router
         if decay is None:
-            beta_backend: TrustBackend = BetaTrustBackend(
-                prior_alpha=prior_alpha, prior_beta=prior_beta
+            beta_backend: TrustBackend = create_backend(
+                "beta",
+                prior_alpha=prior_alpha,
+                prior_beta=prior_beta,
+                shards=shards,
+                router=shard_router,
             )
         elif isinstance(decay, ExponentialDecay):
-            beta_backend = DecayTrustBackend(
+            beta_backend = create_backend(
+                "decay",
                 prior_alpha=prior_alpha,
                 prior_beta=prior_beta,
                 half_life=decay.half_life,
+                shards=shards,
+                router=shard_router,
             )
         else:
             beta_backend = ScalarBetaBackendAdapter(
@@ -121,7 +142,7 @@ class ReputationManager:
                     prior_alpha=prior_alpha, prior_beta=prior_beta, decay=decay
                 )
             )
-        if isinstance(complaint_store, ComplaintTrustBackend):
+        if isinstance(complaint_store, TrustBackend):
             complaint_backend = complaint_store
             # A shared backend carries its own configuration; a caller
             # explicitly asking for different complaint parameters would
@@ -150,7 +171,12 @@ class ReputationManager:
                     "ComplaintTrustBackend instead"
                 )
         else:
-            complaint_backend = ComplaintTrustBackend(
+            # A private complaint backend shards like the beta family; an
+            # external plain store cannot be partitioned from here (every
+            # shard would need the same store behind it), so it stays
+            # unsharded.
+            complaint_backend = create_backend(
+                "complaint",
                 store=complaint_store,
                 tolerance_factor=(
                     4.0 if complaint_tolerance_factor is None
@@ -160,6 +186,8 @@ class ReputationManager:
                     "balanced" if complaint_metric_mode is None
                     else complaint_metric_mode
                 ),
+                shards=shards if complaint_store is None else 1,
+                router=shard_router,
             )
         # The DECAY backend is materialised lazily on first use (most peers
         # never query it); recorded interactions are replayed into it then,
@@ -210,10 +238,13 @@ class ReputationManager:
     def _ensure_decay_backend(self) -> TrustBackend:
         backend = self._backends.get(TrustMethod.DECAY)
         if backend is None:
-            backend = DecayTrustBackend(
+            backend = create_backend(
+                "decay",
                 prior_alpha=self._prior_alpha,
                 prior_beta=self._prior_beta,
                 half_life=self._decay_half_life,
+                shards=self._shards,
+                router=self._shard_router,
             )
             backend.update_many(
                 [self._observation_from(record) for record in self._interactions]
@@ -413,9 +444,11 @@ class ReputationManager:
     ) -> bool:
         """Binary gate used by simple strategies."""
         if method == TrustMethod.COMPLAINT:
+            # The complaint scheme's decision is relative to the community
+            # median; trust_decisions gathers it across shards when the
+            # backend is partitioned.
             backend = self._backends[TrustMethod.COMPLAINT]
-            assert isinstance(backend, ComplaintTrustBackend)
-            return backend.trustworthy(subject_id)
+            return bool(backend.trust_decisions((subject_id,))[0])
         return self.trust_estimate(subject_id, method=method) >= threshold
 
     def trust_snapshot(self, method: str = TrustMethod.BETA) -> Dict[str, float]:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.exceptions import ReputationError, TrustModelError
 from repro.pgrid.network import PGridNetwork
 from repro.reputation.records import InteractionRecord, Rating
@@ -214,6 +216,79 @@ class DistributedReputationStore:
 
     def known_agents(self) -> Sequence[str]:
         return list(self._known_agents)
+
+    def all_complaints(self) -> Sequence[Complaint]:
+        """Every complaint in the distributed store, each exactly once.
+
+        Enumerates the agent registry and queries the ``about:`` key of each
+        agent (every complaint has exactly one accused), so the cost is one
+        P-Grid query per known agent — the price of global enumeration on a
+        decentralised substrate.  Exposing it lets the complaint trust
+        backend's ``snapshot()`` checkpoint distributed complaint state the
+        same way it checkpoints a local store.
+        """
+        complaints: List[Complaint] = []
+        for agent_id in self._known_agents:
+            complaints.extend(self.complaints_about(agent_id))
+        return tuple(complaints)
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Serialise the distributed complaint state as numpy arrays.
+
+        Captures the complaint log (gathered through ordinary P-Grid
+        queries) plus the local agent registry, in the same
+        dict-of-numpy-arrays format the trust backends checkpoint in, so
+        one checkpointing path covers local and P-Grid-backed evidence.
+        The P-Grid topology itself is *not* part of the snapshot — a
+        restore re-inserts the evidence into whatever network the store is
+        bound to.
+        """
+        complaints = self.all_complaints()
+        return {
+            "store": np.array("distributed-reputation"),
+            "known_agents": np.array(list(self._known_agents), dtype=object),
+            "complainants": np.array(
+                [c.complainant_id for c in complaints], dtype=object
+            ),
+            "accused": np.array([c.accused_id for c in complaints], dtype=object),
+            "timestamps": np.array([c.timestamp for c in complaints]),
+        }
+
+    def restore(self, state: Dict[str, np.ndarray]) -> None:
+        """Re-insert a :meth:`snapshot` into the store's current network.
+
+        The agent registry is replaced and every checkpointed complaint is
+        filed again through the ordinary insert path (keyed replication and
+        routing included), so a store restored onto a *different* P-Grid
+        topology answers complaint queries identically.  The store must be
+        *fresh*: P-Grid inserts are append-only, so restoring over existing
+        evidence would duplicate complaints rather than replace them —
+        that case is refused instead of silently corrupting counts.
+        """
+        marker = state.get("store")
+        if marker is None or str(np.asarray(marker).item()) != "distributed-reputation":
+            raise ReputationError(
+                "snapshot was not taken by a DistributedReputationStore"
+            )
+        if self._known_agents:
+            raise ReputationError(
+                "restore requires a fresh distributed store; this one already "
+                "holds evidence (inserts are append-only and would duplicate)"
+            )
+        self._known_agents = [str(agent) for agent in state["known_agents"]]
+        for complainant, accused, timestamp in zip(
+            state["complainants"], state["accused"], state["timestamps"]
+        ):
+            payload = _complaint_to_payload(
+                Complaint(
+                    complainant_id=str(complainant),
+                    accused_id=str(accused),
+                    timestamp=float(timestamp),
+                )
+            )
+            self._network.insert(self.ABOUT_PREFIX + str(accused), payload)
+            self._network.insert(self.BY_PREFIX + str(complainant), payload)
 
     def trust_backend(self, **params) -> ComplaintTrustBackend:
         """A complaint trust backend over the distributed complaint data.

@@ -264,14 +264,8 @@ class CommunitySimulation:
             matches = self._build_matches(round_index)
             if self._config.max_trades_per_round is not None:
                 matches = matches[: self._config.max_trades_per_round]
-            round_outcomes: List[ExchangeOutcome] = []
-            for consumer_id, listing in matches:
-                outcome = self._execute_match(
-                    consumer_id, listing, timestamp, round_index
-                )
-                if outcome is None:
-                    continue
-                round_outcomes.append(outcome)
+            round_outcomes = self._execute_matches(matches, timestamp)
+            for outcome in round_outcomes:
                 if outcome.scheduled and outcome.result is not None:
                     round_accounts.record_executed(outcome.result)
                     ledger.record(
@@ -373,13 +367,10 @@ class CommunitySimulation:
             return trust_weighted_matching(consumer_ids, listings, trust_of, rng)
         return random_matching(consumer_ids, listings, rng)
 
-    def _execute_match(
-        self,
-        consumer_id: str,
-        listing: Listing,
-        timestamp: float,
-        round_index: int,
-    ) -> Optional[ExchangeOutcome]:
+    def _prepare_match(
+        self, consumer_id: str, listing: Listing, timestamp: float
+    ) -> Optional[Tuple[CommunityPeer, CommunityPeer, float, StrategyContext]]:
+        """Negotiate the price and assemble the trust context for one match."""
         supplier = self.peer_by_id(listing.supplier_id)
         consumer = self.peer_by_id(consumer_id)
         try:
@@ -409,19 +400,73 @@ class CommunitySimulation:
             ),
             timestamp=timestamp,
         )
-        outcome = run_exchange(
-            supplier_id=supplier.peer_id,
-            consumer_id=consumer.peer_id,
-            bundle=listing.bundle,
-            price=negotiation.price,
-            strategy=self._strategy,
-            context=context,
-            supplier_behavior=supplier.behavior,
-            consumer_behavior=consumer.behavior,
-            rng=self._streams("execution"),
-            timestamp=timestamp,
+        return supplier, consumer, negotiation.price, context
+
+    def _execute_matches(
+        self, matches: List[Tuple[str, Listing]], timestamp: float
+    ) -> List[ExchangeOutcome]:
+        """Prepare, batch-screen and execute one round's matches.
+
+        All candidates' trust contexts are assembled first, the strategy's
+        batched :meth:`~repro.marketplace.strategy.ExchangeStrategy.
+        screen_candidates` pre-filter rejects the provably unschedulable
+        ones in one vectorized pass, and only survivors pay for full
+        ``plan_exchange`` scheduling.  A screened-out candidate produces
+        the same declined outcome ``run_exchange`` would have returned
+        (and, like it, draws nothing from the execution RNG stream), so
+        screening never changes a result — it only skips dead planning
+        work on the hot path.
+        """
+        prepared = [
+            (listing, self._prepare_match(consumer_id, listing, timestamp))
+            for consumer_id, listing in matches
+        ]
+        candidates = [
+            (listing, plan_inputs)
+            for listing, plan_inputs in prepared
+            if plan_inputs is not None
+        ]
+        if not candidates:
+            return []
+        keep = self._strategy.screen_candidates(
+            [listing.bundle for listing, _ in candidates],
+            [price for _, (_, _, price, _) in candidates],
+            [context for _, (_, _, _, context) in candidates],
         )
-        return outcome
+        outcomes: List[ExchangeOutcome] = []
+        for (listing, (supplier, consumer, price, context)), passed in zip(
+            candidates, keep
+        ):
+            if not passed:
+                outcomes.append(
+                    ExchangeOutcome(
+                        supplier_id=supplier.peer_id,
+                        consumer_id=consumer.peer_id,
+                        bundle=listing.bundle,
+                        price=price,
+                        scheduled=False,
+                        sequence=None,
+                        result=None,
+                        record=None,
+                        timestamp=timestamp,
+                    )
+                )
+                continue
+            outcomes.append(
+                run_exchange(
+                    supplier_id=supplier.peer_id,
+                    consumer_id=consumer.peer_id,
+                    bundle=listing.bundle,
+                    price=price,
+                    strategy=self._strategy,
+                    context=context,
+                    supplier_behavior=supplier.behavior,
+                    consumer_behavior=consumer.behavior,
+                    rng=self._streams("execution"),
+                    timestamp=timestamp,
+                )
+            )
+        return outcomes
 
     def _flush_observations(
         self, round_outcomes: List[ExchangeOutcome], timestamp: float

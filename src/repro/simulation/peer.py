@@ -42,6 +42,8 @@ class CommunityPeer:
         consumes_goods: bool = True,
         trust_method: str = TrustMethod.BETA,
         witness_policy: Optional[WitnessReportPolicy] = None,
+        shards: int = 1,
+        shard_router: str = "hash",
     ):
         if not peer_id:
             raise SimulationError("peer_id must be non-empty")
@@ -54,7 +56,10 @@ class CommunityPeer:
         self.peer_id = peer_id
         self.behavior: BehaviorModel = behavior if behavior is not None else HonestBehavior()
         self.reputation = ReputationManager(
-            owner_id=peer_id, complaint_store=complaint_store
+            owner_id=peer_id,
+            complaint_store=complaint_store,
+            shards=shards,
+            shard_router=shard_router,
         )
         self.defection_penalty = defection_penalty
         self.supplies_goods = supplies_goods

@@ -46,6 +46,14 @@ from repro.trust.complaint import (
     aggregate_witness_reports,
 )
 from repro.trust.decay import DecayModel, ExponentialDecay, NoDecay, SlidingWindowDecay
+from repro.trust.sharding import (
+    ROUTER_NAMES,
+    HashShardRouter,
+    RangeShardRouter,
+    ShardedBackend,
+    ShardRouter,
+    create_router,
+)
 from repro.trust.evidence import (
     Complaint,
     EvidenceLog,
@@ -72,6 +80,13 @@ __all__ = [
     "register_backend",
     "create_backend",
     "backend_names",
+    # sharding
+    "ShardRouter",
+    "HashShardRouter",
+    "RangeShardRouter",
+    "ROUTER_NAMES",
+    "create_router",
+    "ShardedBackend",
     # evidence
     "InteractionOutcome",
     "Observation",

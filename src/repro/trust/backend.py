@@ -244,6 +244,22 @@ class TrustBackend:
         """
         raise NotImplementedError
 
+    def trust_decisions(
+        self,
+        subject_ids: Sequence[str],
+        threshold: float = 0.5,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        """Batched binary trust decisions, aligned with ``subject_ids``.
+
+        The default gates :meth:`scores_for` at ``threshold``; the complaint
+        backend overrides it with the Aberer–Despotovic median rule (which
+        ignores ``threshold``).  Consumers use this instead of reaching into
+        backend-specific decision methods so sharded/wrapped backends can
+        gather decisions across partitions.
+        """
+        return self.scores_for(subject_ids, now=now) >= threshold
+
     def known_subjects(self) -> Tuple[str, ...]:
         """Subjects the backend holds evidence about."""
         raise NotImplementedError
@@ -629,6 +645,7 @@ class ComplaintTrustBackend(TrustBackend):
         self._tolerance_factor = tolerance_factor
         self._trust_scale = trust_scale
         self._metric_mode = metric_mode
+        self._row_filter: Optional[Callable[[str], bool]] = None
         self._index = _PeerIndex()
         self._received = np.zeros(0)
         self._filed = np.zeros(0)
@@ -646,6 +663,23 @@ class ComplaintTrustBackend(TrustBackend):
     @property
     def metric_mode(self) -> str:
         return self._metric_mode
+
+    def restrict_rows(self, row_filter: Callable[[str], bool]) -> None:
+        """Maintain complaint counters only for agents passing ``row_filter``.
+
+        A sharded deployment delivers each complaint to both involved peers'
+        home shards (so every home row sees all its evidence), which would
+        leave half-counted *foreign* rows behind; restricting each shard to
+        its own peer-id range keeps the counter arrays, the in-store agent
+        set and therefore the community-reference metric exactly the home
+        partition.  The underlying store still persists every delivered
+        complaint.  Must be configured before any evidence arrives.
+        """
+        if len(self._index) or (self._sized and len(self._store)):  # type: ignore[arg-type]
+            raise TrustModelError(
+                "restrict_rows must be configured before evidence arrives"
+            )
+        self._row_filter = row_filter
 
     # -- ComplaintStore protocol -----------------------------------------
     def file_complaint(self, complaint: Complaint) -> None:
@@ -679,6 +713,11 @@ class ComplaintTrustBackend(TrustBackend):
         if complaints:
             self._ingest(complaints)
 
+    def record_complaints(self, complaints: Sequence[Complaint]) -> None:
+        """Ingest a batch of ready-made complaints (the sharded scatter unit)."""
+        if complaints:
+            self._ingest(complaints)
+
     def _ingest(self, complaints: Sequence[Complaint]) -> None:
         """Persist a batch of complaints and keep the counters consistent."""
         if self._synced_len is None:
@@ -693,15 +732,21 @@ class ComplaintTrustBackend(TrustBackend):
         for complaint in complaints:
             self._store.file_complaint(complaint)
         intern = self._index.intern
+        row_filter = self._row_filter
+        accused_ids = [c.accused_id for c in complaints]
+        filed_ids = [c.complainant_id for c in complaints]
+        if row_filter is not None:
+            accused_ids = [agent for agent in accused_ids if row_filter(agent)]
+            filed_ids = [agent for agent in filed_ids if row_filter(agent)]
         accused = np.fromiter(
-            (intern(c.accused_id) for c in complaints),
+            (intern(agent) for agent in accused_ids),
             dtype=np.int64,
-            count=len(complaints),
+            count=len(accused_ids),
         )
         filed_by = np.fromiter(
-            (intern(c.complainant_id) for c in complaints),
+            (intern(agent) for agent in filed_ids),
             dtype=np.int64,
-            count=len(complaints),
+            count=len(filed_ids),
         )
         self._ensure_capacity()
         np.add.at(self._received, accused, 1.0)
@@ -729,6 +774,8 @@ class ComplaintTrustBackend(TrustBackend):
 
     def _rebuild(self) -> None:
         agents = list(self._store.known_agents())
+        if self._row_filter is not None:
+            agents = [agent for agent in agents if self._row_filter(agent)]
         for agent_id in agents:
             self._index.intern(agent_id)
         self._ensure_capacity()
@@ -740,12 +787,16 @@ class ComplaintTrustBackend(TrustBackend):
             complaints = self._store.all_complaints()  # type: ignore[attr-defined]
         if complaints is not None:
             intern = self._index.intern
+            row_filter = self._row_filter
             for complaint in complaints:
-                accused = intern(complaint.accused_id)
-                complainant = intern(complaint.complainant_id)
-                self._ensure_capacity()
-                self._received[accused] += 1.0
-                self._filed[complainant] += 1.0
+                if row_filter is None or row_filter(complaint.accused_id):
+                    accused = intern(complaint.accused_id)
+                    self._ensure_capacity()
+                    self._received[accused] += 1.0
+                if row_filter is None or row_filter(complaint.complainant_id):
+                    complainant = intern(complaint.complainant_id)
+                    self._ensure_capacity()
+                    self._filed[complainant] += 1.0
         else:
             for agent_id in agents:
                 row = self._index.intern(agent_id)
@@ -778,9 +829,42 @@ class ComplaintTrustBackend(TrustBackend):
 
     def _scores_from_metrics(self, metrics: np.ndarray) -> np.ndarray:
         """Map decision metrics to [0, 1] trust against the community reference."""
-        reference = self._reference()
+        return self.scores_from_metrics(metrics, reference=self._reference())
+
+    def scores_from_metrics(
+        self, metrics: np.ndarray, reference: float
+    ) -> np.ndarray:
+        """Map metrics to trust values against an *explicit* reference.
+
+        Sharded deployments compute the community median over every shard's
+        home subjects and hand it back in, so per-shard scoring does not use
+        a partition-local (and therefore wrong) reference.
+        """
         scale = self._trust_scale * max(1.0, reference)
         return np.exp(-metrics / scale)
+
+    def decisions_from_metrics(
+        self, metrics: np.ndarray, reference: float
+    ) -> np.ndarray:
+        """The vectorized binary Aberer–Despotovic rule for explicit inputs."""
+        if reference > 0:
+            return metrics <= self._tolerance_factor * reference
+        return metrics <= self._tolerance_factor
+
+    def metrics_for(self, subject_ids: Sequence[str]) -> np.ndarray:
+        """Per-subject decision metrics (0 for unknown subjects)."""
+        self._sync()
+        metrics = self._metrics()
+        rows = self._rows_for(subject_ids)
+        subject_metrics = np.zeros(len(rows))
+        known = rows >= 0
+        subject_metrics[known] = metrics[rows[known]]
+        return subject_metrics
+
+    def metric_values_in_store(self) -> np.ndarray:
+        """Metric values of every in-store agent (the median's input)."""
+        self._sync()
+        return self._metrics()[self._in_store[: len(self._index)]]
 
     def reference_metric(self) -> float:
         """The community's median complaint metric (0 when no data)."""
@@ -804,13 +888,30 @@ class ComplaintTrustBackend(TrustBackend):
     def scores_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> np.ndarray:
+        return self._scores_from_metrics(self.metrics_for(subject_ids))
+
+    def witness_metrics_for(
+        self,
+        subject_ids: Sequence[str],
+        witness_belief_matrix: np.ndarray,
+        discount_vector: np.ndarray,
+    ) -> np.ndarray:
+        """Decision metrics over own counts plus discounted witness counts."""
+        matrix, discounts = validate_witness_matrix(
+            len(subject_ids), witness_belief_matrix, discount_vector, positive=False
+        )
         self._sync()
-        metrics = self._metrics()
         rows = self._rows_for(subject_ids)
-        subject_metrics = np.zeros(len(rows))
+        received = np.zeros(len(rows))
+        filed = np.zeros(len(rows))
         known = rows >= 0
-        subject_metrics[known] = metrics[rows[known]]
-        return self._scores_from_metrics(subject_metrics)
+        received[known] = self._received[rows[known]]
+        filed[known] = self._filed[rows[known]]
+        if matrix.shape[0] > 0:
+            reported = np.einsum("w,wsk->sk", discounts, matrix)
+            received = received + reported[:, 0]
+            filed = filed + reported[:, 1]
+        return self._metric_of(received, filed)
 
     def aggregate_witness_reports(
         self,
@@ -833,34 +934,31 @@ class ComplaintTrustBackend(TrustBackend):
         backend's current community reference.  With no reports the query
         equals :meth:`scores_for`.
         """
-        matrix, discounts = validate_witness_matrix(
-            len(subject_ids), witness_belief_matrix, discount_vector, positive=False
+        metrics = self.witness_metrics_for(
+            subject_ids, witness_belief_matrix, discount_vector
         )
-        self._sync()
-        rows = self._rows_for(subject_ids)
-        received = np.zeros(len(rows))
-        filed = np.zeros(len(rows))
-        known = rows >= 0
-        received[known] = self._received[rows[known]]
-        filed[known] = self._filed[rows[known]]
-        if matrix.shape[0] > 0:
-            reported = np.einsum("w,wsk->sk", discounts, matrix)
-            received = received + reported[:, 0]
-            filed = filed + reported[:, 1]
-        return self._scores_from_metrics(self._metric_of(received, filed))
+        return self._scores_from_metrics(metrics)
 
     def trust(self, subject_id: str, now: Optional[float] = None) -> float:
         return self.score(subject_id, now=now)
 
+    def trust_decisions(
+        self,
+        subject_ids: Sequence[str],
+        threshold: float = 0.5,
+        now: Optional[float] = None,
+    ) -> np.ndarray:
+        """Batched binary decisions against the community median.
+
+        ``threshold`` is ignored: the complaint scheme's rule is relative to
+        the median metric, not an absolute trust level.
+        """
+        metrics = self.metrics_for(subject_ids)
+        return self.decisions_from_metrics(metrics, self._reference())
+
     def trustworthy(self, subject_id: str) -> bool:
         """The binary Aberer–Despotovic decision against the community median."""
-        self._sync()
-        reference = self._reference()
-        row = self._index.get(subject_id)
-        metric = 0.0 if row is None else float(self._metrics()[row])
-        if reference > 0:
-            return metric <= self._tolerance_factor * reference
-        return metric <= self._tolerance_factor
+        return bool(self.trust_decisions((subject_id,))[0])
 
     def known_subjects(self) -> Tuple[str, ...]:
         self._sync()
@@ -872,12 +970,23 @@ class ComplaintTrustBackend(TrustBackend):
         names = self._index.names()
         return tuple(names[row] for row in range(size) if in_store[row])
 
+    def all_complaints(self) -> Tuple[Complaint, ...]:
+        """Every complaint in the underlying store (requires enumeration)."""
+        if not hasattr(self._store, "all_complaints"):
+            raise TrustModelError(
+                "complaint store does not expose all_complaints()"
+            )
+        return tuple(self._store.all_complaints())  # type: ignore[attr-defined]
+
     def snapshot(self) -> Dict[str, np.ndarray]:
         """Counters plus the full complaint log (needed for the round-trip).
 
-        Requires a store exposing ``all_complaints`` (the local store and
-        this backend's own fast path do); distributed stores checkpoint
-        through their own substrate instead.
+        Requires a store exposing ``all_complaints``: the local store, this
+        backend's own fast path, and the P-Grid-backed
+        :class:`~repro.reputation.store.DistributedReputationStore` (which
+        enumerates its complaint log through ordinary P-Grid queries) all
+        do, so distributed complaint state checkpoints through the same
+        path.
         """
         if not hasattr(self._store, "all_complaints"):
             raise TrustModelError(
@@ -885,7 +994,7 @@ class ComplaintTrustBackend(TrustBackend):
                 "snapshot it through its own persistence instead"
             )
         self._sync()
-        complaints = tuple(self._store.all_complaints())  # type: ignore[attr-defined]
+        complaints = self.all_complaints()
         size = len(self._index)
         return {
             "backend": np.array(self.name),
@@ -1044,12 +1153,26 @@ def register_backend(
 
 
 def create_backend(name: str, **params: object) -> TrustBackend:
-    """Instantiate a registered backend by name."""
+    """Instantiate a registered backend by name.
+
+    ``shards=N`` (with an optional ``router="hash"|"range"``) wraps the
+    backend in a :class:`~repro.trust.sharding.ShardedBackend` partitioning
+    the peer-id space across ``N`` inner backends of the requested kind;
+    ``shards=1`` (the default) returns the plain backend.
+    """
+    shards = int(params.pop("shards", 1))  # type: ignore[arg-type]
+    router = params.pop("router", "hash")
+    if shards < 1:
+        raise TrustModelError(f"shards must be >= 1, got {shards}")
     factory = _BACKEND_FACTORIES.get(name)
     if factory is None:
         raise TrustModelError(
             f"unknown trust backend {name!r}; registered: {backend_names()}"
         )
+    if shards > 1:
+        from repro.trust.sharding import ShardedBackend
+
+        return ShardedBackend(name, shards, router=router, **params)
     return factory(**params)
 
 

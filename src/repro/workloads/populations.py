@@ -93,6 +93,8 @@ def build_population(
     complaint_store: Optional[ComplaintStore] = None,
     seed: int = 0,
     trust_method: str = TrustMethod.BETA,
+    shards: int = 1,
+    shard_router: str = "hash",
 ) -> List[CommunityPeer]:
     """Build the peers described by ``spec``.
 
@@ -100,7 +102,8 @@ def build_population(
     reads from) that shared store, modelling the community-wide complaint
     system; otherwise each peer keeps a private store (direct evidence only).
     ``trust_method`` selects the trust backend every peer consults (one of
-    :data:`repro.reputation.manager.TrustMethod.ALL`).
+    :data:`repro.reputation.manager.TrustMethod.ALL`); ``shards`` partitions
+    every peer's trust backends by peer-id range (1 = unsharded).
     """
     rng = random.Random(seed)
     peers: List[CommunityPeer] = []
@@ -113,6 +116,8 @@ def build_population(
                 complaint_store=complaint_store,
                 defection_penalty=spec.defection_penalty,
                 trust_method=trust_method,
+                shards=shards,
+                shard_router=shard_router,
             )
         )
     return peers
@@ -123,6 +128,8 @@ def population_factory(
     complaint_store: Optional[ComplaintStore] = None,
     seed: int = 0,
     trust_method: str = TrustMethod.BETA,
+    shards: int = 1,
+    shard_router: str = "hash",
 ) -> Callable[[int], CommunityPeer]:
     """A factory for churn arrivals drawing behaviours from the same spec."""
     rng = random.Random(seed + 1)
@@ -136,6 +143,8 @@ def population_factory(
             complaint_store=complaint_store,
             defection_penalty=spec.defection_penalty,
             trust_method=trust_method,
+            shards=shards,
+            shard_router=shard_router,
         )
 
     return factory

@@ -167,6 +167,13 @@ _BUILTIN_DEFINITIONS = (
         builder=_builder("sybil-coalition"),
         tags=("stress", "sybil", "witness-plane", "evidence-plane"),
     ),
+    ScenarioDefinition(
+        name="flash-crowd",
+        summary="Burst arrivals of unknown peers swamp the community; "
+        "stresses cold-start trust and sharded peer-id routing.",
+        builder=_builder("flash-crowd"),
+        tags=("stress", "churn", "cold-start", "sharding"),
+    ),
 )
 
 for _definition in _BUILTIN_DEFINITIONS:

@@ -26,7 +26,7 @@ from repro.simulation.behaviors import CoalitionWitness, RationalDefectorBehavio
 from repro.simulation.churn import ChurnModel
 from repro.simulation.community import CommunityConfig, CommunitySimulation
 from repro.simulation.peer import CommunityPeer
-from repro.trust import ComplaintStore, ComplaintTrustBackend
+from repro.trust import ComplaintStore, create_backend
 from repro.workloads.populations import (
     PopulationSpec,
     build_population,
@@ -44,6 +44,7 @@ SCENARIO_NAMES = (
     "collusive-witness",
     "mixed-goods",
     "sybil-coalition",
+    "flash-crowd",
 )
 
 
@@ -92,6 +93,8 @@ def build_scenario(
     evidence_latency: float = 0.0,
     evidence_loss: float = 0.0,
     witness_count: Optional[int] = None,
+    shards: int = 1,
+    shard_router: str = "hash",
 ) -> ScenarioSpec:
     """Construct one of the named scenarios.
 
@@ -115,18 +118,27 @@ def build_scenario(
     asynchronous propagation over the simulated network; ``witness_count``
     overrides how many witnesses each party polls after an exchange
     (``None`` keeps the scenario's own default — 0 everywhere except
-    ``sybil-coalition``).
+    ``sybil-coalition``); ``flash-crowd`` — a stable community swamped by
+    waves of unknown newcomers (cold-start trust and shard-rebalance
+    stress).  ``shards`` partitions every trust backend (each peer's own and
+    the community's shared complaint store) by peer-id range across that
+    many inner backends; results are bit-identical to ``shards=1``.
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
             f"unknown scenario {name!r}; valid names: {SCENARIO_NAMES}"
         )
+    if shards < 1:
+        raise WorkloadError(f"shards must be >= 1, got {shards}")
     trust_method = _resolve_trust_method(backend)
     scenario_witness_count = 0
     # One vectorized complaint backend shared by the whole community is the
     # community complaint store: every peer writes and reads through it, so
-    # counters are updated incrementally with no cache rebuilds.
-    shared_store = ComplaintTrustBackend(metric_mode="balanced")
+    # counters are updated incrementally with no cache rebuilds.  With
+    # shards > 1 the store itself is partitioned by peer-id range.
+    shared_store = create_backend(
+        "complaint", metric_mode="balanced", shards=shards, router=shard_router
+    )
     churn: Optional[ChurnModel] = None
     factory: Optional[Callable[[int], CommunityPeer]] = None
 
@@ -211,7 +223,12 @@ def build_scenario(
             min_population=max(4, size // 3),
         )
         factory = population_factory(
-            spec, complaint_store=shared_store, seed=seed, trust_method=trust_method
+            spec,
+            complaint_store=shared_store,
+            seed=seed,
+            trust_method=trust_method,
+            shards=shards,
+            shard_router=shard_router,
         )
     elif name == "collusive-witness":
         spec = PopulationSpec(
@@ -260,6 +277,44 @@ def build_scenario(
             seed=seed,
         )
         scenario_witness_count = 4
+    elif name == "flash-crowd":
+        # A stable community is swamped by bursts of unknown newcomers: far
+        # more arrivals per round than the high-churn scenario, with mild
+        # departures, so the population (and with it every backend's
+        # interned peer table) keeps growing.  Stresses cold-start trust —
+        # trust-weighted matching must keep discovering strangers — and, in
+        # sharded runs, the routing of a constantly expanding peer-id space.
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.7 - dishonest_fraction / 2),
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=max(0.0, 0.3 - dishonest_fraction / 2),
+            probabilistic_honesty=0.8,
+            false_complaint_probability=0.3,
+            defection_penalty=defection_penalty,
+            id_prefix="flash",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=6,
+            valuation_model=valuation_workload("digital"),
+            matching="trust",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+        churn = ChurnModel(
+            departure_probability=0.04,
+            arrival_rate=max(2.0, size * 0.35),
+            min_population=max(4, size // 2),
+        )
+        factory = population_factory(
+            spec,
+            complaint_store=shared_store,
+            seed=seed,
+            trust_method=trust_method,
+            shards=shards,
+            shard_router=shard_router,
+        )
     else:  # mixed-goods
         spec = PopulationSpec(
             size=size,
@@ -291,7 +346,12 @@ def build_scenario(
         ),
     )
     peers = build_population(
-        spec, complaint_store=shared_store, seed=seed, trust_method=trust_method
+        spec,
+        complaint_store=shared_store,
+        seed=seed,
+        trust_method=trust_method,
+        shards=shards,
+        shard_router=shard_router,
     )
     if name == "sybil-coalition":
         coalition_peers = [

@@ -1,0 +1,123 @@
+"""Sharding across the whole stack: scenarios, manager, evidence, CLI knob.
+
+The acceptance bar for the sharded-backend refactor is that ``--shards N``
+is *invisible* end to end: every scenario, run with any backend kind,
+produces identical trust scores, decisions and economic outcomes whether
+the trust state lives in one arena or is partitioned across N shards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reputation.manager import ReputationManager, TrustMethod
+from repro.reputation.records import InteractionRecord
+from repro.trust import ShardedBackend
+from repro.workloads import build_scenario, scenario_names
+
+
+def _run_scenario(name, backend, shards, size=10, rounds=6, seed=3):
+    scenario = build_scenario(
+        name, size=size, rounds=rounds, seed=seed, backend=backend, shards=shards
+    )
+    simulation = scenario.simulation()
+    result = simulation.run()
+    method = TrustMethod.BETA if backend == "combined" else backend
+    trust = {
+        peer.peer_id: peer.reputation.trust_snapshot(method=method)
+        for peer in simulation.peers
+    }
+    return result, trust
+
+
+class TestScenarioEquivalence:
+    @pytest.mark.parametrize("backend", ("beta", "complaint", "decay"))
+    def test_sharded_run_identical_to_unsharded(self, backend):
+        """The headline guarantee, for all three backend kinds."""
+        baseline_result, baseline_trust = _run_scenario(
+            "p2p-file-trading", backend, shards=1
+        )
+        sharded_result, sharded_trust = _run_scenario(
+            "p2p-file-trading", backend, shards=4
+        )
+        assert baseline_result.accounts.completed == sharded_result.accounts.completed
+        assert baseline_result.accounts.declined == sharded_result.accounts.declined
+        assert (
+            baseline_result.accounts.defections
+            == sharded_result.accounts.defections
+        )
+        assert baseline_result.total_welfare == sharded_result.total_welfare
+        assert baseline_trust == sharded_trust
+
+    def test_witness_plane_identical_under_sharding(self):
+        """sybil-coalition exercises the witness-aggregation scatter path."""
+        baseline_result, baseline_trust = _run_scenario(
+            "sybil-coalition", "beta", shards=1
+        )
+        sharded_result, sharded_trust = _run_scenario(
+            "sybil-coalition", "beta", shards=3
+        )
+        assert baseline_result.total_welfare == sharded_result.total_welfare
+        assert baseline_trust == sharded_trust
+
+    def test_every_registered_scenario_runs_sharded(self):
+        for name in scenario_names():
+            scenario = build_scenario(name, size=8, rounds=3, seed=1, shards=2)
+            result = scenario.simulation().run()
+            assert result.accounts.attempted >= 0
+
+
+class TestFlashCrowdScenario:
+    def test_flash_crowd_grows_the_population(self):
+        scenario = build_scenario("flash-crowd", size=10, rounds=8, seed=2)
+        simulation = scenario.simulation()
+        simulation.run()
+        arrivals = [
+            peer for peer in simulation.peers if peer.peer_id.startswith("flash-new-")
+        ]
+        assert len(simulation.peers) > 10
+        assert arrivals, "burst arrivals should join the community"
+
+    def test_flash_crowd_sharded_matches_unsharded(self):
+        baseline_result, baseline_trust = _run_scenario(
+            "flash-crowd", "beta", shards=1, rounds=8
+        )
+        sharded_result, sharded_trust = _run_scenario(
+            "flash-crowd", "beta", shards=4, rounds=8
+        )
+        assert baseline_result.total_welfare == sharded_result.total_welfare
+        assert baseline_trust == sharded_trust
+
+
+class TestShardedManager:
+    def test_manager_shards_all_backends(self):
+        manager = ReputationManager(owner_id="me", shards=4)
+        assert isinstance(manager.backend_for(TrustMethod.BETA), ShardedBackend)
+        assert isinstance(
+            manager.backend_for(TrustMethod.COMPLAINT), ShardedBackend
+        )
+        assert isinstance(manager.backend_for(TrustMethod.DECAY), ShardedBackend)
+
+    def test_sharded_manager_matches_unsharded(self):
+        plain = ReputationManager(owner_id="me")
+        sharded = ReputationManager(owner_id="me", shards=3)
+        partners = [f"partner-{index}" for index in range(8)]
+        for index, partner in enumerate(partners * 3):
+            record = InteractionRecord(
+                supplier_id=partner,
+                consumer_id="me",
+                completed=index % 3 != 0,
+                defector="supplier" if index % 3 == 0 else None,
+                value=5.0,
+                timestamp=float(index),
+            )
+            plain.record_interaction(record)
+            sharded.record_interaction(record)
+        for method in TrustMethod.ALL:
+            np.testing.assert_array_equal(
+                plain.trust_scores(partners, method=method),
+                sharded.trust_scores(partners, method=method),
+            )
+        for partner in partners:
+            assert plain.is_trustworthy(
+                partner, method=TrustMethod.COMPLAINT
+            ) == sharded.is_trustworthy(partner, method=TrustMethod.COMPLAINT)

@@ -96,3 +96,68 @@ class TestDistributedReputationStore:
             DistributedReputationStore.ABOUT_PREFIX + "someone", "garbage|data"
         )
         assert store.complaints_about("someone") == []
+
+
+class TestDistributedStoreCheckpointing:
+    """Distributed complaint state checkpoints like backend state does."""
+
+    def _populate(self, store):
+        for index in range(5):
+            store.file_complaint(
+                Complaint(f"victim-{index % 2}", "cheat", timestamp=float(index))
+            )
+        store.file_complaint(Complaint("cheat", "victim-0", timestamp=9.0))
+
+    def test_all_complaints_enumerates_each_once(self):
+        store = build_distributed_store()
+        self._populate(store)
+        complaints = store.all_complaints()
+        assert len(complaints) == 6
+        assert sum(1 for c in complaints if c.accused_id == "cheat") == 5
+
+    def test_snapshot_restores_into_a_different_network(self):
+        store = build_distributed_store(peers=16, seed=1)
+        self._populate(store)
+        state = store.snapshot()
+        assert all(hasattr(value, "dtype") for value in state.values())
+
+        restored = build_distributed_store(peers=8, seed=5)
+        restored.restore(state)
+        assert set(restored.known_agents()) == set(store.known_agents())
+        for agent in store.known_agents():
+            assert len(restored.complaints_about(agent)) == len(
+                store.complaints_about(agent)
+            )
+            assert len(restored.complaints_by(agent)) == len(
+                store.complaints_by(agent)
+            )
+
+    def test_restore_rejects_foreign_snapshot(self):
+        store = build_distributed_store()
+        with pytest.raises(Exception):
+            store.restore({"store": None})
+
+    def test_restore_refuses_non_fresh_store(self):
+        # P-Grid inserts are append-only; restoring over existing evidence
+        # would duplicate every complaint instead of replacing it.
+        store = build_distributed_store()
+        self._populate(store)
+        state = store.snapshot()
+        with pytest.raises(Exception):
+            store.restore(state)
+        assert len(store.complaints_about("cheat")) == 5
+
+    def test_complaint_backend_snapshots_distributed_state(self):
+        """The PR-2 leftover: backend snapshot()/restore() over P-Grid."""
+        store = build_distributed_store()
+        self._populate(store)
+        backend = store.trust_backend(metric_mode="balanced")
+        state = backend.snapshot()
+
+        restored = store.trust_backend(metric_mode="balanced")
+        restored.restore(state)
+        queries = ("cheat", "victim-0", "victim-1", "nobody")
+        assert list(restored.scores_for(queries)) == list(
+            backend.scores_for(queries)
+        )
+        assert restored.counts("cheat") == backend.counts("cheat") == (5, 1)

@@ -147,6 +147,47 @@ class TestRunCommand:
         with pytest.raises(SystemExit):
             main(["run", "--scenario", "ebay", "--backend", "tarot"])
 
+    def test_sharded_run_reports_shards(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "flash-crowd",
+                "--shards", "3",
+                "--shard-router", "range",
+                "--size", "8",
+                "--rounds", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "3 shards, range router" in output
+
+    def test_sharded_run_output_identical_to_unsharded(self, capsys):
+        """--shards is a deployment knob: every reported number must match."""
+        outputs = []
+        for shards in ("1", "4"):
+            exit_code = main(
+                [
+                    "run",
+                    "--scenario", "p2p-file-trading",
+                    "--backend", "complaint",
+                    "--shards", shards,
+                    "--size", "8",
+                    "--rounds", "4",
+                    "--seed", "2",
+                ]
+            )
+            assert exit_code == 0
+            outputs.append(capsys.readouterr().out)
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("Backend:")
+        ]
+        assert strip(outputs[0]) == strip(outputs[1])
+
+    def test_unknown_shard_router_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "ebay", "--shard-router", "zodiac"])
+
     def test_scenario_is_required(self):
         with pytest.raises(SystemExit):
             main(["run"])
