@@ -16,6 +16,10 @@ bench:
 
 # Cheap guard that every benchmark still runs: tiny parameters via
 # REPRO_BENCH_SMOKE, one pass, fail fast.  Keeps benchmarks from silently
-# rotting without paying the full measurement cost.
+# rotting without paying the full measurement cost.  This includes the
+# enforced acceptance bars: backend batching speedups, sharding overhead
+# (bench_sharded_backend) and the evidence-repair convergence/overhead
+# bars (bench_evidence_repair: gossip >= 0.99 effective delivery at < 3x
+# message overhead under 20% loss).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks -x -q

@@ -46,6 +46,7 @@ from repro.core.safety import verify_sequence
 from repro.exceptions import ReproError
 from repro.marketplace import TrustAwareStrategy
 from repro.reputation.manager import TrustMethod
+from repro.simulation.repair import REPAIR_POLICIES
 from repro.trust import ROUTER_NAMES
 from repro.workloads import (
     SCENARIO_NAMES,
@@ -136,8 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--scenario", required=True, choices=scenario_names())
     run_parser.add_argument("--backend", choices=BACKEND_CHOICES,
-                            default=TrustMethod.BETA,
-                            help="trust backend every peer consults")
+                            default=None,
+                            help="trust backend every peer consults "
+                            "(default: the scenario's own preference, "
+                            "beta when it has none)")
     run_parser.add_argument("--evidence-mode", choices=("sync", "async"),
                             default="sync",
                             help="evidence propagation: apply immediately "
@@ -148,6 +151,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--evidence-loss", type=float, default=0.0,
                             help="evidence drop probability in [0, 1) "
                             "(async mode)")
+    run_parser.add_argument("--evidence-repair", choices=REPAIR_POLICIES,
+                            default="off",
+                            help="recover lost evidence: 'off' (lost stays "
+                            "lost), 'retransmit' (ack + capped exponential "
+                            "backoff) or 'gossip' (periodic anti-entropy "
+                            "digest exchange); async mode only")
+    run_parser.add_argument("--gossip-period", type=float, default=1.0,
+                            help="rounds between anti-entropy gossip "
+                            "exchanges (gossip repair)")
+    run_parser.add_argument("--gossip-fanout", type=int, default=2,
+                            help="random partners each peer exchanges "
+                            "digests with per gossip round")
+    run_parser.add_argument("--retransmit-timeout", type=float, default=2.0,
+                            help="rounds before an unacknowledged evidence "
+                            "entry is re-sent (retransmit repair)")
     run_parser.add_argument("--witnesses", type=int, default=None,
                             help="witnesses polled per exchange (default: "
                             "the scenario's own setting)")
@@ -202,7 +220,12 @@ def _command_plan(args: argparse.Namespace) -> int:
 
 
 def _print_result(
-    scenario_name: str, backend: str, result, shards: int = 1, router: str = "hash"
+    scenario_name: str,
+    backend: str,
+    result,
+    shards: int = 1,
+    router: str = "hash",
+    repair: str = "off",
 ) -> None:
     print(f"Scenario:          {scenario_name}")
     if shards > 1:
@@ -223,8 +246,18 @@ def _print_result(
             "Evidence plane:    "
             f"{counters.sent} sent, {counters.delivered} delivered, "
             f"{counters.dropped} dropped, {counters.in_flight} in flight "
-            f"(delivery ratio {result.evidence_delivery_ratio:.3f})"
+            f"(delivery ratio {result.evidence_delivery_ratio:.3f}, "
+            f"effective {result.evidence_effective_delivery_ratio:.3f})"
         )
+        if repair != "off":
+            print(
+                "Evidence repair:   "
+                f"{repair}: {counters.repair_messages} repair messages, "
+                f"{counters.duplicates_suppressed} duplicates suppressed, "
+                f"{counters.entries_expired} entries expired, convergence "
+                f"lag p50/p95 {counters.convergence_lag_p50:.1f}/"
+                f"{counters.convergence_lag_p95:.1f} rounds"
+            )
 
 
 def _command_scenario(args: argparse.Namespace) -> int:
@@ -269,14 +302,28 @@ def _command_run(args: argparse.Namespace) -> int:
         evidence_mode=args.evidence_mode,
         evidence_latency=args.evidence_latency,
         evidence_loss=args.evidence_loss,
+        evidence_repair=args.evidence_repair,
+        gossip_period=args.gossip_period,
+        gossip_fanout=args.gossip_fanout,
+        retransmit_timeout=args.retransmit_timeout,
         witness_count=args.witnesses,
         shards=args.shards,
         shard_router=args.shard_router,
     )
-    result = scenario.simulation(strategy).run()
+    simulation = scenario.simulation(strategy)
+    result = simulation.run()
+    if scenario.config.evidence_repair != "off":
+        # "Effective delivery" is a *post-repair* number: give the repair
+        # policy bounded extra ticks past the horizon to converge before
+        # reporting it (the counters object is shared with the result).
+        simulation.evidence_plane.drain(max_ticks=200)
     _print_result(
-        args.scenario, args.backend, result,
+        # Report what actually ran: the registry may supply the backend
+        # (partition-heal -> complaint, fluctuating-behaviour -> decay) and
+        # scenarios may upgrade the repair policy (partition-heal -> gossip).
+        args.scenario, scenario.trust_method, result,
         shards=args.shards, router=args.shard_router,
+        repair=scenario.config.evidence_repair,
     )
     return 0
 

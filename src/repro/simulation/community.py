@@ -39,6 +39,7 @@ from repro.marketplace.strategy import ExchangeStrategy, StrategyContext
 from repro.simulation.churn import ChurnEvent, ChurnModel
 from repro.simulation.evidence import EVIDENCE_MODES, EvidencePlane
 from repro.simulation.network import NetworkCounters
+from repro.simulation.repair import REPAIR_POLICIES
 from repro.simulation.peer import CommunityPeer
 from repro.simulation.rng import RandomStreams
 
@@ -68,6 +69,19 @@ class CommunityConfig:
     #: Witnesses each party asks about its partner after an exchange
     #: (0 disables witness reporting entirely).
     witness_count: int = 0
+    #: Evidence repair policy: "off" (lost evidence stays lost),
+    #: "retransmit" (ack + capped exponential backoff) or "gossip"
+    #: (periodic anti-entropy digest exchange); async mode only.
+    evidence_repair: str = "off"
+    #: Ticks between anti-entropy rounds (gossip policy).
+    gossip_period: float = 1.0
+    #: Random partners each peer exchanges digests with per round (gossip).
+    gossip_fanout: int = 2
+    #: Initial ack deadline in ticks before an entry is re-sent (retransmit).
+    retransmit_timeout: float = 2.0
+    #: Optional link-fault predicate ``(sender, recipient, now) -> bool``;
+    #: a faulted link drops deterministically (partition scenarios).
+    evidence_fault: Optional[Callable[[str, str, float], bool]] = None
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -99,6 +113,24 @@ class CommunityConfig:
             raise SimulationError(
                 "evidence_latency/evidence_loss require evidence_mode='async'"
             )
+        if self.evidence_repair not in REPAIR_POLICIES:
+            raise SimulationError(
+                f"evidence_repair must be one of {REPAIR_POLICIES}, "
+                f"got {self.evidence_repair!r}"
+            )
+        if self.evidence_mode == "sync" and (
+            self.evidence_repair != "off" or self.evidence_fault is not None
+        ):
+            # Same rationale: repair/fault knobs on a sync run are inert.
+            raise SimulationError(
+                "evidence_repair/evidence_fault require evidence_mode='async'"
+            )
+        if self.gossip_period <= 0:
+            raise SimulationError("gossip_period must be > 0")
+        if self.gossip_fanout < 1:
+            raise SimulationError("gossip_fanout must be >= 1")
+        if self.retransmit_timeout <= 0:
+            raise SimulationError("retransmit_timeout must be > 0")
         if self.witness_count < 0:
             raise SimulationError("witness_count must be >= 0")
         if self.valuation_model is None:
@@ -143,6 +175,18 @@ class CommunityResult:
         if self.evidence_counters is None:
             return 1.0
         return self.evidence_counters.delivery_ratio
+
+    @property
+    def evidence_effective_delivery_ratio(self) -> float:
+        """Post-repair fraction of evidence entries applied (1.0 for sync).
+
+        The counters object is shared with the live plane, so draining the
+        plane after the run (``simulation.evidence_plane.drain()``) is
+        reflected here.
+        """
+        if self.evidence_counters is None:
+            return 1.0
+        return self.evidence_counters.effective_delivery_ratio
 
     @property
     def completion_rate(self) -> float:
@@ -220,6 +264,12 @@ class CommunitySimulation:
             latency=self._config.evidence_latency,
             loss=self._config.evidence_loss,
             rng=self._streams("evidence-network"),
+            repair=self._config.evidence_repair,
+            gossip_period=self._config.gossip_period,
+            gossip_fanout=self._config.gossip_fanout,
+            retransmit_timeout=self._config.retransmit_timeout,
+            repair_rng=self._streams("evidence-repair"),
+            fault=self._config.evidence_fault,
         )
         for peer in self._peers:
             self._evidence.register_peer(peer)
@@ -473,21 +523,41 @@ class CommunitySimulation:
     ) -> None:
         """Flush the round's queued evidence through the evidence plane.
 
-        Each participant's records form one ``update_many`` payload (one
-        message on the wire in async mode — a drop loses the whole round's
-        evidence for that peer); the false-complaint pass then replays the
+        In sync mode each participant's records form one ``update_many``
+        batch applied immediately (the legacy data path, bit-for-bit).  In
+        async mode the batches are split per *counterparty*: each partner
+        sends the peer one outcome-receipt message per round, so every
+        evidence entry has a real origin the repair subsystem can journal,
+        retransmit from and gossip about (a drop costs that counterparty's
+        receipts for the round).  The false-complaint pass then replays the
         outcomes in execution order so the complaint RNG stream stays
         deterministic, and finally witness-report requests go out for the
         partners just interacted with.
         """
-        per_peer: Dict[str, List] = {}
-        for outcome in round_outcomes:
-            if outcome.record is None:
-                continue
-            per_peer.setdefault(outcome.supplier_id, []).append(outcome.record)
-            per_peer.setdefault(outcome.consumer_id, []).append(outcome.record)
-        for peer_id, records in per_peer.items():
-            self._evidence.submit_records(peer_id, records)
+        if not self._evidence.is_async:
+            per_peer: Dict[str, List] = {}
+            for outcome in round_outcomes:
+                if outcome.record is None:
+                    continue
+                per_peer.setdefault(outcome.supplier_id, []).append(outcome.record)
+                per_peer.setdefault(outcome.consumer_id, []).append(outcome.record)
+            for peer_id, records in per_peer.items():
+                self._evidence.submit_records(peer_id, records)
+        else:
+            per_pair: Dict[Tuple[str, str], List] = {}
+            for outcome in round_outcomes:
+                if outcome.record is None:
+                    continue
+                per_pair.setdefault(
+                    (outcome.consumer_id, outcome.supplier_id), []
+                ).append(outcome.record)
+                per_pair.setdefault(
+                    (outcome.supplier_id, outcome.consumer_id), []
+                ).append(outcome.record)
+            for (sender_id, recipient_id), records in per_pair.items():
+                self._evidence.submit_records(
+                    recipient_id, records, sender_id=sender_id
+                )
         complaint_rng = self._streams("complaints")
         for outcome in round_outcomes:
             record = outcome.record

@@ -17,24 +17,35 @@ propagation model explicit and pluggable:
     SimulatedNetwork` bound to a discrete-event engine: observation
     ``update_many`` payloads, complaint filings and witness-report
     requests/replies all pay a sampled latency and face a drop probability,
-    so trust state lags reality and may permanently miss evidence.  The
-    driver advances the plane's clock once per tick
-    (:meth:`EvidencePlane.advance`), delivering everything that has matured.
+    so trust state lags reality and may miss evidence.  The driver advances
+    the plane's clock once per tick (:meth:`EvidencePlane.advance`),
+    delivering everything that has matured.
 
 The plane carries three message kinds:
 
 * ``evidence`` — a batch of :class:`~repro.reputation.records.
-  InteractionRecord`s for one peer's backends (the ``update_many`` payload);
+  InteractionRecord`s for one peer's backends (the ``update_many`` payload),
+  originated by the interaction counterparty (its signed outcome receipt);
 * ``complaint`` — a complaint filing routed to the community complaint sink;
 * ``witness-request`` / ``witness-reply`` — a request for beliefs about a
   set of subjects and the witness's (policy-filtered) answer, landing in the
   requester's witness inbox for the next trust query.
+
+In async mode every unit of evidence is wrapped in an
+:class:`~repro.simulation.repair.EvidenceEntry` named ``(origin, seq)``:
+delivery is **idempotent** (duplicates are suppressed before any backend or
+complaint-store write), effective delivery is accounted per entry rather
+than per message, and a pluggable
+:class:`~repro.simulation.repair.RepairPolicy` (``off`` / ``retransmit`` /
+``gossip``) recovers lost entries through the same lossy network — see
+:mod:`repro.simulation.repair`.  With repair ``off`` and zero loss the plane
+behaves exactly as before the repair subsystem existed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import SimulationError
 from repro.simulation.engine import SimulationEngine
@@ -44,6 +55,12 @@ from repro.simulation.network import (
     Message,
     NetworkCounters,
     SimulatedNetwork,
+)
+from repro.simulation.repair import (
+    EvidenceEntry,
+    EvidenceJournal,
+    RepairPolicy,
+    create_repair_policy,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (peer imports us)
@@ -55,6 +72,9 @@ EVIDENCE_MODES = ("sync", "async")
 
 #: Pseudo-recipient for complaint filings (the community complaint system).
 COMPLAINT_SINK = "__complaint-sink__"
+
+#: Message kinds owned by the repair subsystem rather than the evidence flow.
+_REPAIR_KINDS = ("repair-ack", "repair-digest", "repair-entries")
 
 
 class EvidencePlane:
@@ -70,13 +90,28 @@ class EvidencePlane:
         the sync plane's evidence-next-round cadence, larger values make
         trust state progressively staler.
     loss:
-        Per-message drop probability in ``[0, 1)`` — lost evidence never
-        arrives and is never retransmitted.
+        Per-message drop probability in ``[0, 1)`` — without a repair policy
+        lost evidence never arrives; with one, loss becomes extra
+        convergence latency instead of information loss.
     latency_model:
         Overrides the latency distribution built from ``latency``.
     rng:
         Drives loss sampling and latency draws (deterministic experiments
         hand in a seeded stream).
+    repair:
+        Repair policy name (:data:`~repro.simulation.repair.REPAIR_POLICIES`)
+        or a ready :class:`~repro.simulation.repair.RepairPolicy` instance.
+        Only meaningful in async mode; ``"off"`` keeps fire-and-forget.
+    gossip_period, gossip_fanout, retransmit_timeout:
+        Tuning knobs forwarded to :func:`~repro.simulation.repair.
+        create_repair_policy` when ``repair`` is given by name.
+    repair_rng:
+        Drives gossip partner selection (separate stream so enabling repair
+        never perturbs the loss/latency draws of the evidence traffic).
+    fault:
+        Optional link-fault predicate ``(sender, recipient, now) -> bool``
+        forwarded to the network — partition scenarios cut cliques apart
+        with it.
     """
 
     def __init__(
@@ -86,6 +121,12 @@ class EvidencePlane:
         loss: float = 0.0,
         latency_model: Optional[LatencyModel] = None,
         rng: Optional[random.Random] = None,
+        repair: "str | RepairPolicy" = "off",
+        gossip_period: float = 1.0,
+        gossip_fanout: int = 2,
+        retransmit_timeout: float = 2.0,
+        repair_rng: Optional[random.Random] = None,
+        fault=None,
     ):
         if mode not in EVIDENCE_MODES:
             raise SimulationError(
@@ -95,10 +136,42 @@ class EvidencePlane:
             raise SimulationError(f"evidence latency must be >= 0, got {latency}")
         if not 0.0 <= loss < 1.0:
             raise SimulationError(f"evidence loss must lie in [0, 1), got {loss}")
+        if isinstance(repair, RepairPolicy):
+            policy = repair
+        else:
+            policy = create_repair_policy(
+                repair,
+                gossip_period=gossip_period,
+                gossip_fanout=gossip_fanout,
+                retransmit_timeout=retransmit_timeout,
+            )
+        if mode == "sync" and (policy.name != "off" or fault is not None):
+            # Repair/fault knobs on a sync plane would be silently inert — a
+            # misconfigured experiment; refuse like the latency/loss knobs.
+            raise SimulationError(
+                "evidence repair and link faults require mode='async'"
+            )
         self._mode = mode
         self._peers: Dict[str, "CommunityPeer"] = {}
         self._engine: Optional[SimulationEngine] = None
         self._network: Optional[SimulatedNetwork] = None
+        self._policy = policy
+        self._policy.bind(self)
+        self._repair_rng = (
+            repair_rng if repair_rng is not None else random.Random(1)
+        )
+        #: Monotone per-origin sequence counters for entry naming.
+        self._seq: Dict[str, int] = {}
+        #: Per-holder journals (only maintained for journaling policies).
+        self._journals: Dict[str, EvidenceJournal] = {}
+        #: Keys of persistent entries already applied (dedup guard).
+        self._applied: Set[Tuple[str, int]] = set()
+        #: Keys of transient (witness) entries already processed.
+        self._seen_transient: Set[Tuple[str, int]] = set()
+        #: Keys written off after their recipient churned out.
+        self._expired: Set[Tuple[str, int]] = set()
+        #: recipient -> keys of entries emitted to it but not yet applied.
+        self._unapplied: Dict[str, Set[Tuple[str, int]]] = {}
         if mode == "async":
             if latency_model is None:
                 latency_model = ExponentialLatency(
@@ -110,8 +183,9 @@ class EvidencePlane:
                 latency=latency_model,
                 loss_probability=loss,
                 rng=rng if rng is not None else random.Random(0),
+                fault=fault,
             )
-            self._network.register(COMPLAINT_SINK, self._handle_complaint)
+            self._network.register(COMPLAINT_SINK, self._handle_message)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -125,6 +199,14 @@ class EvidencePlane:
         return self._mode == "async"
 
     @property
+    def repair_policy(self) -> RepairPolicy:
+        return self._policy
+
+    @property
+    def repair_rng(self) -> random.Random:
+        return self._repair_rng
+
+    @property
     def counters(self) -> Optional[NetworkCounters]:
         """Traffic counters (``None`` in sync mode — nothing is on the wire)."""
         return self._network.counters if self._network is not None else None
@@ -133,6 +215,30 @@ class EvidencePlane:
     def pending_messages(self) -> int:
         """Evidence messages still in flight."""
         return self._engine.pending_events if self._engine is not None else 0
+
+    @property
+    def effective_delivery_ratio(self) -> float:
+        """Post-repair fraction of evidence entries applied (1.0 when sync)."""
+        counters = self.counters
+        return 1.0 if counters is None else counters.effective_delivery_ratio
+
+    def is_settled(self, entry: EvidenceEntry) -> bool:
+        """Whether an entry has reached its destination (or been written off).
+
+        Transient (witness) entries settle on first delivery; persistent
+        entries settle when applied or expired.  The repair policies use
+        this to tell unrecovered evidence from mere ack bookkeeping.
+        """
+        if entry.transient:
+            return entry.key in self._seen_transient
+        return entry.key in self._applied or entry.key in self._expired
+
+    def registered_ids(self) -> Tuple[str, ...]:
+        """Currently registered peer ids in deterministic (sorted) order."""
+        return tuple(sorted(self._peers))
+
+    def is_registered(self, peer_id: str) -> bool:
+        return peer_id in self._peers
 
     # ------------------------------------------------------------------
     # Peer registration
@@ -143,29 +249,107 @@ class EvidencePlane:
             self._network.register(peer.peer_id, self._handle_message)
 
     def unregister_peer(self, peer_id: str) -> None:
-        """Remove a departed peer; in-flight evidence to it becomes undeliverable."""
+        """Remove a departed peer, writing off evidence it can never apply.
+
+        Entries addressed to the departed peer (queued, in flight, or held
+        only in journals) are counted as ``entries_expired`` rather than
+        left dangling, the repair policy drops retransmit/gossip state that
+        targets it, and entries the peer *originated* that survive in no
+        remaining journal are written off too — so drain loops terminate and
+        the effective-delivery accounting stays honest under churn.
+        """
         self._peers.pop(peer_id, None)
-        if self._network is not None:
-            self._network.unregister(peer_id)
+        if self._network is None:
+            return
+        self._network.unregister(peer_id)
+        counters = self._network.counters
+        for key in self._unapplied.pop(peer_id, ()):  # addressed to departed
+            self._expire(key, counters)
+        self._journals.pop(peer_id, None)
+        self._policy.on_peer_departed(peer_id)
+        if self._policy.name != "off":
+            # Anything the departed peer originated loses its repair driver:
+            # under gossip it survives only if some remaining journal holds
+            # a copy; under retransmit only a copy already in flight can
+            # still land (application then reconciles the write-off).  With
+            # repair off, unapplied entries are the plain missing-evidence
+            # baseline and stay on the ledger as such.
+            orphaned = [
+                key
+                for keys in self._unapplied.values()
+                for key in keys
+                if key[0] == peer_id
+                and not (
+                    self._policy.journaling
+                    and any(
+                        key in journal for journal in self._journals.values()
+                    )
+                )
+            ]
+            for key in orphaned:
+                self._expire(key, counters)
+
+    def _expire(self, key: Tuple[str, int], counters: NetworkCounters) -> None:
+        if key in self._applied or key in self._expired:
+            return
+        self._expired.add(key)
+        counters.entries_expired += 1
+        for keys in self._unapplied.values():
+            keys.discard(key)
 
     # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
     def advance(self, now: float) -> int:
-        """Deliver every message that has matured by ``now`` (async only)."""
+        """Deliver every message matured by ``now`` and run one repair round."""
         if self._engine is None or now < self._engine.now:
             return 0
-        return self._engine.run_until(now)
+        delivered = self._engine.run_until(now)
+        self._policy.on_round(now)
+        return delivered
+
+    def drain(self, max_ticks: int = 200, tick: float = 1.0) -> int:
+        """Keep ticking until the plane converges (or ``max_ticks`` pass).
+
+        Advances the clock past the simulation horizon so in-flight messages
+        mature and the repair policy can finish recovering lost entries;
+        returns the number of extra ticks consumed.  With repair ``off``
+        this simply flushes the in-flight queue.
+        """
+        if self._engine is None:
+            return 0
+        ticks = 0
+        while ticks < max_ticks:
+            if self._policy.journaling:
+                # Gossip chatter never leaves the wire fully idle; what
+                # matters is that every recoverable entry has been applied.
+                working = self._policy.has_pending()
+            else:
+                working = (
+                    self._engine.pending_events > 0 or self._policy.has_pending()
+                )
+            if not working:
+                break
+            self.advance(self._engine.now + tick)
+            ticks += 1
+        return ticks
 
     # ------------------------------------------------------------------
     # Evidence submission
     # ------------------------------------------------------------------
-    def submit_records(self, recipient_id: str, records: Sequence) -> None:
-        """Route one peer's ``update_many`` payload (a record batch).
+    def submit_records(
+        self,
+        recipient_id: str,
+        records: Sequence,
+        sender_id: Optional[str] = None,
+    ) -> None:
+        """Route one ``update_many`` payload (a record batch) to a peer.
 
         Sync: applied to the peer's backends immediately.  Async: one
-        message on the wire — a single loss event costs the whole batch,
-        matching the batched flush unit.
+        message on the wire — a single loss event costs the whole batch.
+        ``sender_id`` names the counterparty the batch originates from (its
+        outcome receipt); it defaults to the recipient for callers that
+        predate the repair subsystem.
         """
         if not records:
             return
@@ -174,9 +358,11 @@ class EvidencePlane:
             if peer is not None:
                 peer.observe_outcomes(records)
             return
-        self._network.send(
-            recipient_id, recipient_id, tuple(records), kind="evidence"
+        origin = sender_id if sender_id is not None else recipient_id
+        entry = self._make_entry(
+            origin, recipient_id, "evidence", tuple(records)
         )
+        self._send_entry(entry)
 
     def submit_complaint(
         self, filer: "CommunityPeer", accused_id: str, timestamp: float = 0.0
@@ -188,12 +374,13 @@ class EvidencePlane:
         # The payload carries the filer itself (not just its id): a complaint
         # already in flight still reaches the shared store even when the
         # filer churns out before the message matures.
-        self._network.send(
+        entry = self._make_entry(
             filer.peer_id,
             COMPLAINT_SINK,
+            "complaint",
             (filer, accused_id, timestamp),
-            kind="complaint",
         )
+        self._send_entry(entry)
 
     def request_witness_reports(
         self,
@@ -205,7 +392,8 @@ class EvidencePlane:
 
         Sync: replies land in the requester's witness inbox immediately.
         Async: one request message per witness, one reply message back —
-        either leg can be dropped or delayed.
+        either leg can be dropped or delayed (and, under the retransmit
+        policy, re-sent until acknowledged).
         """
         subjects = tuple(subject_ids)
         if not subjects:
@@ -222,36 +410,196 @@ class EvidencePlane:
                 if reports:
                     requester.receive_witness_reports(witness_id, reports)
                 continue
-            self._network.send(
+            entry = self._make_entry(
                 requester_id,
                 witness_id,
+                "witness-request",
                 (requester_id, subjects),
-                kind="witness-request",
+                transient=True,
+            )
+            self._send_entry(entry)
+
+    # ------------------------------------------------------------------
+    # Entry plumbing (async only)
+    # ------------------------------------------------------------------
+    def _make_entry(
+        self,
+        origin_id: str,
+        recipient_id: str,
+        kind: str,
+        payload,
+        transient: bool = False,
+    ) -> EvidenceEntry:
+        seq = self._seq.get(origin_id, 0) + 1
+        self._seq[origin_id] = seq
+        assert self._engine is not None and self._network is not None
+        entry = EvidenceEntry(
+            origin_id=origin_id,
+            seq=seq,
+            recipient_id=recipient_id,
+            kind=kind,
+            payload=payload,
+            emitted_at=self._engine.now,
+            transient=transient,
+        )
+        if not transient:
+            counters = self._network.counters
+            counters.entries_emitted += 1
+            if recipient_id == COMPLAINT_SINK or recipient_id in self._peers:
+                self._unapplied.setdefault(recipient_id, set()).add(entry.key)
+            else:
+                # Addressed to nobody: written off at emission so the
+                # effective-delivery ledger balances.
+                self._expired.add(entry.key)
+                counters.entries_expired += 1
+            if self._policy.journaling:
+                self.journal_for(origin_id).add(entry)
+        return entry
+
+    def _send_entry(self, entry: EvidenceEntry) -> None:
+        assert self._network is not None and self._engine is not None
+        self._network.send(
+            entry.origin_id, entry.recipient_id, entry, kind=entry.kind
+        )
+        self._policy.on_emit(entry, self._engine.now)
+
+    # Helpers the repair policies call -----------------------------------
+    def journal_for(self, holder_id: str) -> EvidenceJournal:
+        journal = self._journals.get(holder_id)
+        if journal is None:
+            journal = self._journals[holder_id] = EvidenceJournal()
+        return journal
+
+    def repair_send(
+        self, sender_id: str, recipient_id: str, payload, kind: str
+    ) -> bool:
+        """Send one repair-plane message (tallied in ``repair_messages``)."""
+        assert self._network is not None
+        self._network.counters.repair_messages += 1
+        return self._network.send(sender_id, recipient_id, payload, kind=kind)
+
+    def resend_entry(self, entry: EvidenceEntry) -> bool:
+        """Retransmit a direct entry copy (tallied in ``repair_messages``)."""
+        assert self._network is not None
+        self._network.counters.repair_messages += 1
+        return self._network.send(
+            entry.origin_id, entry.recipient_id, entry, kind=entry.kind
+        )
+
+    def ingest_entry(
+        self, holder_id: str, entry: EvidenceEntry, now: float
+    ) -> None:
+        """Fold a gossip-relayed entry into ``holder_id``'s journal.
+
+        The holder stores (and will relay) the entry regardless of who it is
+        addressed to; it is *applied* only when the holder is the recipient
+        (or, for complaint entries, forwarded to the sink so the filing pays
+        the same network path every direct complaint does).
+        """
+        if entry.transient:
+            return
+        counters = self._network.counters if self._network is not None else None
+        fresh = self.journal_for(holder_id).add(entry)
+        if not fresh:
+            if counters is not None:
+                counters.duplicates_suppressed += 1
+            return
+        if entry.recipient_id == holder_id:
+            self._apply_entry(entry, now)
+        elif (
+            entry.recipient_id == COMPLAINT_SINK
+            and entry.key not in self._applied
+        ):
+            # A relayed complaint is forwarded to the community store by the
+            # first holder to learn of it — through the network, so a
+            # partitioned holder still cannot reach the store until heal.
+            self.repair_send(
+                holder_id, COMPLAINT_SINK, entry, kind=entry.kind
             )
 
     # ------------------------------------------------------------------
     # Message handling (async deliveries)
     # ------------------------------------------------------------------
     def _handle_message(self, message: Message) -> None:
-        peer = self._peers.get(message.recipient_id)
-        if peer is None:
+        assert self._engine is not None
+        now = self._engine.now
+        if message.kind == "repair-ack":
+            self._policy.on_ack(message.payload)
             return
-        if message.kind == "evidence":
-            peer.observe_outcomes(list(message.payload))
-        elif message.kind == "witness-request":
-            requester_id, subjects = message.payload
-            reports = peer.build_witness_reports(subjects)
-            if reports and self._network is not None:
-                self._network.send(
-                    peer.peer_id,
-                    requester_id,
-                    (peer.peer_id, tuple(reports)),
-                    kind="witness-reply",
-                )
-        elif message.kind == "witness-reply":
-            witness_id, reports = message.payload
-            peer.receive_witness_reports(witness_id, reports)
+        if message.kind in _REPAIR_KINDS:
+            self._policy.on_repair_message(message, now)
+            return
+        entry: EvidenceEntry = message.payload
+        holder_id = message.recipient_id
+        if entry.transient:
+            self._deliver_transient(entry, holder_id, now)
+            return
+        if self._policy.journaling and holder_id != COMPLAINT_SINK:
+            self.journal_for(holder_id).add(entry)
+        if entry.key in self._applied:
+            assert self._network is not None
+            self._network.counters.duplicates_suppressed += 1
+        else:
+            # An entry already written off as expired may still arrive (a
+            # copy that was in flight when its origin churned);
+            # _apply_entry reconciles the ledger in that case.
+            self._apply_entry(entry, now)
+        # Ack even duplicates: the retransmitting origin may never have seen
+        # the first ack.
+        if self._policy.acking:
+            self._policy.on_entry_delivered(entry, holder_id, now)
 
-    def _handle_complaint(self, message: Message) -> None:
-        filer, accused_id, timestamp = message.payload
-        filer.reputation.file_complaint(accused_id, timestamp=timestamp)
+    def _deliver_transient(
+        self, entry: EvidenceEntry, holder_id: str, now: float
+    ) -> None:
+        duplicate = entry.key in self._seen_transient
+        if duplicate:
+            assert self._network is not None
+            self._network.counters.duplicates_suppressed += 1
+        else:
+            self._seen_transient.add(entry.key)
+            peer = self._peers.get(holder_id)
+            if peer is not None:
+                if entry.kind == "witness-request":
+                    requester_id, subjects = entry.payload
+                    reports = peer.build_witness_reports(subjects)
+                    if reports:
+                        reply = self._make_entry(
+                            peer.peer_id,
+                            requester_id,
+                            "witness-reply",
+                            (peer.peer_id, tuple(reports)),
+                            transient=True,
+                        )
+                        self._send_entry(reply)
+                elif entry.kind == "witness-reply":
+                    witness_id, reports = entry.payload
+                    peer.receive_witness_reports(witness_id, reports)
+        if self._policy.acking:
+            self._policy.on_entry_delivered(entry, holder_id, now)
+
+    def _apply_entry(self, entry: EvidenceEntry, now: float) -> None:
+        """Apply a fresh entry to its destination, exactly once."""
+        applied = False
+        if entry.kind == "evidence":
+            peer = self._peers.get(entry.recipient_id)
+            if peer is not None:
+                peer.observe_outcomes(list(entry.payload))
+                applied = True
+        elif entry.kind == "complaint":
+            filer, accused_id, timestamp = entry.payload
+            filer.reputation.file_complaint(accused_id, timestamp=timestamp)
+            applied = True
+        if not applied:
+            return
+        assert self._network is not None
+        counters = self._network.counters
+        self._applied.add(entry.key)
+        counters.entries_applied += 1
+        counters.convergence_lags.append(now - entry.emitted_at)
+        if entry.key in self._expired:
+            # A copy outran the write-off (e.g. it was in flight while its
+            # origin churned): reconcile the ledger.
+            self._expired.remove(entry.key)
+            counters.entries_expired -= 1
+        self._unapplied.get(entry.recipient_id, set()).discard(entry.key)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.exceptions import SimulationError
 from repro.simulation.engine import SimulationEngine
@@ -97,10 +97,20 @@ class ExponentialLatency(LatencyModel):
 class NetworkCounters:
     """Traffic counters of a simulated network.
 
-    ``dropped`` (sampled loss) and ``undeliverable`` (unknown recipient) are
-    tracked separately from ``delivered`` so evidence-loss experiments can
-    report honest delivery ratios; messages still scheduled but not yet
-    delivered show up as :attr:`in_flight`.
+    ``dropped`` (sampled loss or a link fault) and ``undeliverable`` (unknown
+    recipient) are tracked separately from ``delivered`` so evidence-loss
+    experiments can report honest delivery ratios; messages still scheduled
+    but not yet delivered show up as :attr:`in_flight`.
+
+    The repair subsystem (see :mod:`repro.simulation.repair`) adds a second
+    ledger in units of *evidence entries* rather than messages: an entry is
+    ``emitted`` once, may be carried by many messages (retransmissions,
+    gossip relays), is ``applied`` at most once thanks to ``(origin, seq)``
+    dedup (``duplicates_suppressed`` counts the suppressed copies), and is
+    ``expired`` when its recipient churns out before delivery.  The
+    :attr:`effective_delivery_ratio` over entries is the post-repair
+    delivery ratio the run summary reports; ``convergence_lags`` records,
+    per applied entry, the ticks from emission to final application.
     """
 
     sent: int = 0
@@ -108,6 +118,17 @@ class NetworkCounters:
     dropped: int = 0
     undeliverable: int = 0
     total_latency: float = 0.0
+    #: Duplicate deliveries suppressed by ``(origin, seq)`` dedup.
+    duplicates_suppressed: int = 0
+    #: Repair-plane messages sent (acks, retransmissions, digests, entry
+    #: batches); a subset of ``sent``.
+    repair_messages: int = 0
+    #: Evidence entries emitted / applied / expired (churned recipient).
+    entries_emitted: int = 0
+    entries_applied: int = 0
+    entries_expired: int = 0
+    #: Per applied entry: simulation-time from emission to application.
+    convergence_lags: List[float] = field(default_factory=list)
 
     @property
     def mean_latency(self) -> float:
@@ -138,9 +159,50 @@ class NetworkCounters:
             return 0.0
         return (self.dropped + self.undeliverable) / self.sent
 
+    @property
+    def missing_entries(self) -> int:
+        """Evidence entries neither applied nor written off as expired."""
+        return self.entries_emitted - self.entries_applied - self.entries_expired
+
+    @property
+    def effective_delivery_ratio(self) -> float:
+        """Fraction of emitted evidence entries eventually applied.
+
+        This is the *post-repair* delivery ratio: a retransmitted or
+        gossip-relayed entry that finally lands counts as delivered no matter
+        how many of its copies were lost along the way.  1.0 when no entries
+        were emitted (idle or sync plane).
+        """
+        if self.entries_emitted == 0:
+            return 1.0
+        return self.entries_applied / self.entries_emitted
+
+    def _lag_quantile(self, q: float) -> float:
+        if not self.convergence_lags:
+            return 0.0
+        ordered = sorted(self.convergence_lags)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def convergence_lag_p50(self) -> float:
+        """Median ticks from evidence emission to final application."""
+        return self._lag_quantile(0.5)
+
+    @property
+    def convergence_lag_p95(self) -> float:
+        """95th-percentile ticks from evidence emission to final application."""
+        return self._lag_quantile(0.95)
+
 
 class SimulatedNetwork:
-    """Delivers messages between registered handlers with latency and loss."""
+    """Delivers messages between registered handlers with latency and loss.
+
+    ``fault`` is an optional link-fault predicate ``(sender_id,
+    recipient_id, now) -> bool``; a faulted link drops the message
+    deterministically (counted as ``dropped``, no loss RNG draw), which is
+    how partition scenarios cut every path between two cliques for a while.
+    """
 
     def __init__(
         self,
@@ -148,6 +210,7 @@ class SimulatedNetwork:
         latency: Optional[LatencyModel] = None,
         loss_probability: float = 0.0,
         rng: Optional[random.Random] = None,
+        fault: Optional[Callable[[str, str, float], bool]] = None,
     ):
         if not 0.0 <= loss_probability < 1.0:
             raise SimulationError(
@@ -157,6 +220,7 @@ class SimulatedNetwork:
         self._latency: LatencyModel = latency if latency is not None else FixedLatency()
         self._loss_probability = loss_probability
         self._rng = rng if rng is not None else random.Random(0)
+        self._fault = fault
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         self.counters = NetworkCounters()
 
@@ -189,6 +253,13 @@ class SimulatedNetwork:
         self.counters.sent += 1
         if recipient_id not in self._handlers:
             self.counters.undeliverable += 1
+            return False
+        # A faulted link is a deterministic drop: it must not consume a loss
+        # sample, so fault-free runs draw exactly the same RNG stream.
+        if self._fault is not None and self._fault(
+            sender_id, recipient_id, self._engine.now
+        ):
+            self.counters.dropped += 1
             return False
         if self._loss_probability > 0 and self._rng.random() < self._loss_probability:
             self.counters.dropped += 1

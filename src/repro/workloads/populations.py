@@ -16,6 +16,7 @@ from repro.exceptions import WorkloadError
 from repro.reputation.manager import TrustMethod
 from repro.simulation.behaviors import (
     BehaviorModel,
+    FluctuatingBehavior,
     HonestBehavior,
     OpportunisticBehavior,
     ProbabilisticBehavior,
@@ -31,8 +32,11 @@ __all__ = ["PopulationSpec", "build_population", "population_factory", "honesty_
 class PopulationSpec:
     """Composition of a community population.
 
-    The four fractions must sum to at most 1; the remainder becomes
+    The five fractions must sum to at most 1; the remainder becomes
     probabilistically unreliable peers with honesty ``probabilistic_honesty``.
+    ``fluctuating_fraction`` adds "milking" peers: honest until
+    ``fluctuating_switch_time`` (building reputation), defecting with
+    probability ``1 - fluctuating_later_honesty`` afterwards.
     """
 
     size: int = 20
@@ -40,8 +44,12 @@ class PopulationSpec:
     dishonest_fraction: float = 0.2
     opportunist_fraction: float = 0.0
     probabilistic_fraction: float = 0.2
+    fluctuating_fraction: float = 0.0
     probabilistic_honesty: float = 0.85
     opportunist_threshold: float = 5.0
+    fluctuating_initial_honesty: float = 1.0
+    fluctuating_later_honesty: float = 0.1
+    fluctuating_switch_time: float = 25.0
     false_complaint_probability: float = 0.0
     defection_penalty: float = 0.0
     id_prefix: str = "peer"
@@ -54,6 +62,7 @@ class PopulationSpec:
             self.dishonest_fraction,
             self.opportunist_fraction,
             self.probabilistic_fraction,
+            self.fluctuating_fraction,
         )
         if any(fraction < 0 for fraction in fractions):
             raise WorkloadError("population fractions must be non-negative")
@@ -70,13 +79,15 @@ class PopulationSpec:
         """Assign a behaviour to the ``index``-th peer (deterministic slots).
 
         Peers are assigned in blocks (honest first, then dishonest, then
-        opportunists, then probabilistic) so a given spec always produces the
-        same composition regardless of the RNG; the RNG is only used for the
-        residual class when the fractions do not exactly divide the size.
+        opportunists, then fluctuating, then probabilistic) so a given spec
+        always produces the same composition regardless of the RNG; the RNG
+        is only used for the residual class when the fractions do not
+        exactly divide the size.
         """
         honest_count = round(self.size * self.honest_fraction)
         dishonest_count = round(self.size * self.dishonest_fraction)
         opportunist_count = round(self.size * self.opportunist_fraction)
+        fluctuating_count = round(self.size * self.fluctuating_fraction)
         if index < honest_count:
             return HonestBehavior()
         if index < honest_count + dishonest_count:
@@ -85,6 +96,14 @@ class PopulationSpec:
             )
         if index < honest_count + dishonest_count + opportunist_count:
             return OpportunisticBehavior(threshold=self.opportunist_threshold)
+        if index < (
+            honest_count + dishonest_count + opportunist_count + fluctuating_count
+        ):
+            return FluctuatingBehavior(
+                initial_honesty=self.fluctuating_initial_honesty,
+                later_honesty=self.fluctuating_later_honesty,
+                switch_time=self.fluctuating_switch_time,
+            )
         return ProbabilisticBehavior(honesty=self.probabilistic_honesty)
 
 

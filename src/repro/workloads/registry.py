@@ -174,6 +174,24 @@ _BUILTIN_DEFINITIONS = (
         builder=_builder("flash-crowd"),
         tags=("stress", "churn", "cold-start", "sharding"),
     ),
+    ScenarioDefinition(
+        name="partition-heal",
+        summary="Community splits into two cliques with total cross-"
+        "partition evidence loss, then heals; anti-entropy repair "
+        "backfills the missed complaints and witness traffic.",
+        builder=_builder("partition-heal"),
+        tags=("stress", "partition", "repair", "evidence-plane"),
+        defaults={"backend": "complaint"},
+    ),
+    ScenarioDefinition(
+        name="fluctuating-behaviour",
+        summary="Milking attack: peers build reputation honestly, then "
+        "defect in bursts; stresses decay-weighted forgetting against "
+        "repaired-but-late evidence.",
+        builder=_builder("fluctuating-behaviour"),
+        tags=("stress", "milking", "decay-backend"),
+        defaults={"backend": "decay"},
+    ),
 )
 
 for _definition in _BUILTIN_DEFINITIONS:

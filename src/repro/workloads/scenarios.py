@@ -25,6 +25,7 @@ from repro.reputation.manager import TrustMethod
 from repro.simulation.behaviors import CoalitionWitness, RationalDefectorBehavior
 from repro.simulation.churn import ChurnModel
 from repro.simulation.community import CommunityConfig, CommunitySimulation
+from repro.simulation.evidence import COMPLAINT_SINK
 from repro.simulation.peer import CommunityPeer
 from repro.trust import ComplaintStore, create_backend
 from repro.workloads.populations import (
@@ -45,6 +46,8 @@ SCENARIO_NAMES = (
     "mixed-goods",
     "sybil-coalition",
     "flash-crowd",
+    "partition-heal",
+    "fluctuating-behaviour",
 )
 
 
@@ -92,6 +95,10 @@ def build_scenario(
     evidence_mode: str = "sync",
     evidence_latency: float = 0.0,
     evidence_loss: float = 0.0,
+    evidence_repair: str = "off",
+    gossip_period: float = 1.0,
+    gossip_fanout: int = 2,
+    retransmit_timeout: float = 2.0,
     witness_count: Optional[int] = None,
     shards: int = 1,
     shard_router: str = "hash",
@@ -115,14 +122,23 @@ def build_scenario(
     ``complaint``, ``decay`` or ``combined``; default ``beta``).  The
     evidence-plane knobs (``evidence_mode``/``evidence_latency``/
     ``evidence_loss``) choose between today's synchronous evidence flush and
-    asynchronous propagation over the simulated network; ``witness_count``
-    overrides how many witnesses each party polls after an exchange
-    (``None`` keeps the scenario's own default — 0 everywhere except
-    ``sybil-coalition``); ``flash-crowd`` — a stable community swamped by
-    waves of unknown newcomers (cold-start trust and shard-rebalance
-    stress).  ``shards`` partitions every trust backend (each peer's own and
-    the community's shared complaint store) by peer-id range across that
-    many inner backends; results are bit-identical to ``shards=1``.
+    asynchronous propagation over the simulated network, and the repair
+    knobs (``evidence_repair``/``gossip_period``/``gossip_fanout``/
+    ``retransmit_timeout``) select how lost evidence is recovered;
+    ``witness_count`` overrides how many witnesses each party polls after an
+    exchange (``None`` keeps the scenario's own default — 0 everywhere
+    except ``sybil-coalition`` and ``partition-heal``); ``flash-crowd`` — a
+    stable community swamped by waves of unknown newcomers (cold-start
+    trust and shard-rebalance stress); ``partition-heal`` — the community
+    splits into two cliques with total cross-partition evidence loss for
+    the first half of the run, then heals (inherently asynchronous: a sync
+    request is upgraded to async with gossip repair so anti-entropy can
+    backfill the missed evidence); ``fluctuating-behaviour`` — "milking"
+    peers build reputation honestly then defect in bursts (the decay
+    backend's forgetting against late evidence).  ``shards`` partitions
+    every trust backend (each peer's own and the community's shared
+    complaint store) by peer-id range across that many inner backends;
+    results are bit-identical to ``shards=1``.
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
@@ -132,6 +148,7 @@ def build_scenario(
         raise WorkloadError(f"shards must be >= 1, got {shards}")
     trust_method = _resolve_trust_method(backend)
     scenario_witness_count = 0
+    evidence_fault: Optional[Callable[[str, str, float], bool]] = None
     # One vectorized complaint backend shared by the whole community is the
     # community complaint store: every peer writes and reads through it, so
     # counters are updated incrementally with no cache rebuilds.  With
@@ -315,6 +332,93 @@ def build_scenario(
             shards=shards,
             shard_router=shard_router,
         )
+    elif name == "partition-heal":
+        # Two cliques (even/odd peer index) lose every cross-partition
+        # message for the first half of the run, then the link heals.  The
+        # marketplace keeps trading across the split (partner discovery is
+        # not the evidence network), but complaints and witness traffic
+        # between the cliques are cut — the paper's "the network can fail
+        # arbitrarily" story made runnable.  The scenario is inherently
+        # asynchronous: a sync request is upgraded to async with gossip
+        # repair so anti-entropy can backfill the missed evidence once the
+        # partition heals.
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.7 - dishonest_fraction / 2),
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=max(0.0, 0.3 - dishonest_fraction / 2),
+            probabilistic_honesty=0.85,
+            false_complaint_probability=0.4,
+            defection_penalty=defection_penalty,
+            id_prefix="heal",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=6,
+            valuation_model=valuation_workload("digital"),
+            matching="trust",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
+        scenario_witness_count = 2
+        if evidence_mode == "sync":
+            evidence_mode = "async"
+            if evidence_latency == 0.0:
+                evidence_latency = 1.0
+        if evidence_repair == "off":
+            evidence_repair = "gossip"
+        heal_time = max(1.0, rounds / 2.0)
+        cliques = {f"heal-{index:03d}": index % 2 for index in range(size)}
+        # The community complaint store lives in clique 0: during the
+        # partition clique-1 filings cannot reach it directly and must be
+        # repaired across after heal.
+        cliques[COMPLAINT_SINK] = 0
+
+        def _partition_fault(
+            sender: str,
+            recipient: str,
+            now: float,
+            _cliques=cliques,
+            _heal=heal_time,
+        ) -> bool:
+            side_a = _cliques.get(sender)
+            side_b = _cliques.get(recipient)
+            return (
+                now < _heal
+                and side_a is not None
+                and side_b is not None
+                and side_a != side_b
+            )
+
+        evidence_fault = _partition_fault
+    elif name == "fluctuating-behaviour":
+        # The ROADMAP's milking population: a block of peers behaves
+        # honestly long enough to build reputation, then defects in a burst
+        # halfway through the run.  Decay-weighted trust must forget the
+        # good old evidence fast enough to catch the turn — which gets
+        # strictly harder when repaired evidence arrives late.
+        spec = PopulationSpec(
+            size=size,
+            honest_fraction=max(0.0, 0.75 - dishonest_fraction),
+            dishonest_fraction=dishonest_fraction,
+            probabilistic_fraction=0.0,
+            # The milking block yields to an extreme --dishonest request so
+            # the fractions can never sum past 1.
+            fluctuating_fraction=min(0.25, max(0.0, 1.0 - dishonest_fraction)),
+            fluctuating_later_honesty=0.05,
+            fluctuating_switch_time=rounds * 0.5,
+            false_complaint_probability=0.3,
+            defection_penalty=defection_penalty,
+            id_prefix="milk",
+        )
+        config = CommunityConfig(
+            rounds=rounds,
+            bundle_size=5,
+            valuation_model=valuation_workload("digital"),
+            matching="trust",
+            defection_penalty=defection_penalty,
+            seed=seed,
+        )
     else:  # mixed-goods
         spec = PopulationSpec(
             size=size,
@@ -341,6 +445,11 @@ def build_scenario(
         evidence_mode=evidence_mode,
         evidence_latency=evidence_latency,
         evidence_loss=evidence_loss,
+        evidence_repair=evidence_repair,
+        gossip_period=gossip_period,
+        gossip_fanout=gossip_fanout,
+        retransmit_timeout=retransmit_timeout,
+        evidence_fault=evidence_fault,
         witness_count=(
             witness_count if witness_count is not None else scenario_witness_count
         ),

@@ -1,0 +1,599 @@
+"""Tests for the anti-entropy evidence repair subsystem.
+
+Covers the building blocks (sequence trackers, journals, digests), the two
+repair policies against a lossy network (retransmit recovers direct
+messages, gossip heals through relays), idempotent delivery under forced
+duplicates, churn hardening of the accounting, the convergence property
+(a drained repaired async run ends in the same backend state as a sync
+run), and the two new scenarios (partition-heal, fluctuating-behaviour).
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.baselines import GoodsFirstStrategy
+from repro.marketplace.strategy import TrustAwareStrategy
+from repro.reputation.manager import TrustMethod
+from repro.reputation.records import InteractionRecord
+from repro.simulation.behaviors import FluctuatingBehavior
+from repro.simulation.community import CommunityConfig, CommunitySimulation
+from repro.simulation.evidence import EvidencePlane
+from repro.simulation.network import FixedLatency
+from repro.simulation.peer import CommunityPeer
+from repro.simulation.repair import (
+    REPAIR_POLICIES,
+    EvidenceEntry,
+    EvidenceJournal,
+    SequenceTracker,
+    create_repair_policy,
+)
+from repro.workloads import build_scenario
+
+
+def _record(supplier="s", consumer="c", supplier_honest=True, consumer_honest=True,
+            timestamp=0.0):
+    defector = None
+    if not supplier_honest:
+        defector = "supplier"
+    elif not consumer_honest:
+        defector = "consumer"
+    return InteractionRecord(
+        supplier_id=supplier,
+        consumer_id=consumer,
+        completed=defector is None,
+        defector=defector,
+        value=5.0,
+        timestamp=timestamp,
+    )
+
+
+def _entry(origin, seq, recipient="r", kind="evidence", payload=(), emitted_at=0.0):
+    return EvidenceEntry(
+        origin_id=origin,
+        seq=seq,
+        recipient_id=recipient,
+        kind=kind,
+        payload=payload,
+        emitted_at=emitted_at,
+    )
+
+
+class TestSequenceTracker:
+    def test_contiguous_prefix_collapses(self):
+        tracker = SequenceTracker()
+        assert tracker.add(1) and tracker.add(3) and tracker.add(2)
+        assert tracker.contiguous == 3
+        assert tracker.extras == set()
+
+    def test_duplicates_rejected(self):
+        tracker = SequenceTracker()
+        assert tracker.add(2)
+        assert not tracker.add(2)
+        assert tracker.add(1)
+        assert not tracker.add(1)
+        assert len(tracker) == 2
+
+    def test_known_seqs_ordered_across_holes(self):
+        tracker = SequenceTracker()
+        for seq in (1, 4, 6):
+            tracker.add(seq)
+        assert list(tracker.known_seqs()) == [1, 4, 6]
+        digest = tracker.digest()
+        assert [seq for seq in range(1, 7) if not SequenceTracker.covers(digest, seq)] == [2, 3, 5]
+
+    def test_digest_covers_exactly_known(self):
+        tracker = SequenceTracker()
+        for seq in (1, 2, 5):
+            tracker.add(seq)
+        digest = tracker.digest()
+        for seq in range(1, 8):
+            assert SequenceTracker.covers(digest, seq) == (seq in tracker)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=40), max_size=40))
+    def test_insertion_order_invariance(self, seqs):
+        tracker = SequenceTracker()
+        for seq in seqs:
+            tracker.add(seq)
+        expected = set(seqs)
+        assert set(tracker.known_seqs()) == expected
+        assert len(tracker) == len(expected)
+        digest = tracker.digest()
+        for seq in range(1, 45):
+            assert SequenceTracker.covers(digest, seq) == (seq in expected)
+
+
+class TestEvidenceJournal:
+    def test_add_and_dedup(self):
+        journal = EvidenceJournal()
+        entry = _entry("a", 1)
+        assert journal.add(entry)
+        assert not journal.add(entry)
+        assert entry.key in journal
+        assert journal.get(entry.key) is entry
+        assert len(journal) == 1
+
+    def test_missing_from_and_is_missing_any(self):
+        ours = EvidenceJournal()
+        theirs = EvidenceJournal()
+        for seq in (1, 2, 3):
+            ours.add(_entry("a", seq))
+        theirs.add(_entry("a", 2))
+        theirs.add(_entry("b", 1))
+        push = ours.entries_missing_from(theirs.digest())
+        assert [entry.key for entry in push] == [("a", 1), ("a", 3)]
+        assert ours.is_missing_any(theirs.digest())  # lacks ("b", 1)
+        assert theirs.is_missing_any(ours.digest())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sets(
+            st.tuples(st.sampled_from("abc"), st.integers(1, 12)), max_size=24
+        ),
+        st.sets(
+            st.tuples(st.sampled_from("abc"), st.integers(1, 12)), max_size=24
+        ),
+    )
+    def test_one_push_pull_round_trip_converges(self, keys_a, keys_b):
+        """Exchanging the two missing-sets makes both journals identical."""
+        journal_a, journal_b = EvidenceJournal(), EvidenceJournal()
+        for origin, seq in keys_a:
+            journal_a.add(_entry(origin, seq))
+        for origin, seq in keys_b:
+            journal_b.add(_entry(origin, seq))
+        for entry in journal_a.entries_missing_from(journal_b.digest()):
+            journal_b.add(entry)
+        for entry in journal_b.entries_missing_from(journal_a.digest()):
+            journal_a.add(entry)
+        assert journal_a.digest() == journal_b.digest()
+        assert not journal_a.is_missing_any(journal_b.digest())
+        assert not journal_b.is_missing_any(journal_a.digest())
+
+
+class TestPolicyFactory:
+    def test_known_policies(self):
+        assert REPAIR_POLICIES == ("off", "retransmit", "gossip")
+        for name in REPAIR_POLICIES:
+            assert create_repair_policy(name).name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            create_repair_policy("carrier-pigeon")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(SimulationError):
+            create_repair_policy("gossip", gossip_period=0.0)
+        with pytest.raises(SimulationError):
+            create_repair_policy("gossip", gossip_fanout=0)
+        with pytest.raises(SimulationError):
+            create_repair_policy("retransmit", retransmit_timeout=0.0)
+
+    def test_sync_plane_rejects_repair(self):
+        with pytest.raises(SimulationError):
+            EvidencePlane(mode="sync", repair="gossip")
+        with pytest.raises(SimulationError):
+            EvidencePlane(mode="sync", fault=lambda s, r, now: False)
+
+
+class TestDedupIdempotency:
+    def test_forced_duplicate_delivery_applies_once(self):
+        # Retransmit fires before the first ack round-trips, so the
+        # recipient sees the same entry twice; dedup must keep the backend
+        # write-once.
+        plane = EvidencePlane(
+            mode="async",
+            latency_model=FixedLatency(1.0),
+            repair="retransmit",
+            retransmit_timeout=0.5,
+        )
+        peer = CommunityPeer("c")
+        plane.register_peer(peer)
+        plane.submit_records("c", [_record()], sender_id="s")
+        plane.advance(1.0)  # original delivered; retransmit already queued
+        plane.drain(max_ticks=20)
+        assert peer.reputation.interaction_count() == 1
+        counters = plane.counters
+        assert counters.duplicates_suppressed >= 1
+        assert counters.entries_applied == 1
+        assert counters.entries_emitted == 1
+        assert counters.effective_delivery_ratio == 1.0
+
+    def test_duplicate_complaints_count_once(self):
+        plane = EvidencePlane(
+            mode="async",
+            latency_model=FixedLatency(1.0),
+            repair="retransmit",
+            retransmit_timeout=0.5,
+        )
+        filer = CommunityPeer("f")
+        plane.register_peer(filer)
+        plane.submit_complaint(filer, "villain", timestamp=0.0)
+        plane.drain(max_ticks=20)
+        assert filer.reputation.complaint_model.counts("villain").received == 1
+        assert plane.counters.duplicates_suppressed >= 1
+
+
+class TestRetransmitRecovery:
+    def test_high_loss_fully_recovered(self):
+        plane = EvidencePlane(
+            mode="async",
+            latency=0.5,
+            loss=0.6,
+            rng=random.Random(3),
+            repair="retransmit",
+            retransmit_timeout=1.0,
+        )
+        peers = [CommunityPeer(f"p{i}") for i in range(4)]
+        for peer in peers:
+            plane.register_peer(peer)
+        for tick in range(10):
+            plane.advance(float(tick))
+            for index, peer in enumerate(peers):
+                partner = peers[(index + 1) % len(peers)]
+                plane.submit_records(
+                    peer.peer_id,
+                    [_record(supplier=partner.peer_id, consumer=peer.peer_id,
+                             timestamp=float(tick))],
+                    sender_id=partner.peer_id,
+                )
+        ticks = plane.drain(max_ticks=200)
+        counters = plane.counters
+        assert counters.effective_delivery_ratio == 1.0
+        assert counters.missing_entries == 0
+        assert counters.repair_messages > 0
+        assert counters.dropped > 0  # loss really happened and was repaired
+        assert ticks < 200
+        assert sum(p.reputation.interaction_count() for p in peers) == 40
+
+    def test_backoff_is_capped(self):
+        policy = create_repair_policy("retransmit", retransmit_timeout=1.0)
+        plane = EvidencePlane(
+            mode="async", latency_model=FixedLatency(1.0), loss=0.9,
+            rng=random.Random(1), repair=policy,
+        )
+        peer = CommunityPeer("c")
+        plane.register_peer(peer)
+        plane.submit_records("c", [_record()], sender_id="s")
+        for tick in range(1, 40):
+            plane.advance(float(tick))
+        state = next(iter(policy._pending.values()), None)
+        if state is not None:  # still unlucky after 40 ticks at 90% loss
+            assert state.interval <= 8.0  # capped at 8 x timeout
+        plane.drain(max_ticks=300)
+        assert plane.counters.effective_delivery_ratio == 1.0
+
+
+class TestGossipRecovery:
+    def _community_plane(self, loss, n=6, seed=5, period=1.0, fanout=2):
+        plane = EvidencePlane(
+            mode="async",
+            latency=0.5,
+            loss=loss,
+            rng=random.Random(seed),
+            repair="gossip",
+            gossip_period=period,
+            gossip_fanout=fanout,
+            repair_rng=random.Random(seed + 1),
+        )
+        peers = [CommunityPeer(f"g{i}") for i in range(n)]
+        for peer in peers:
+            plane.register_peer(peer)
+        return plane, peers
+
+    def test_lossy_evidence_heals_through_relays(self):
+        plane, peers = self._community_plane(loss=0.4)
+        for tick in range(12):
+            plane.advance(float(tick))
+            for index, peer in enumerate(peers):
+                partner = peers[(index + 1) % len(peers)]
+                plane.submit_records(
+                    peer.peer_id,
+                    [_record(supplier=partner.peer_id, consumer=peer.peer_id,
+                             timestamp=float(tick))],
+                    sender_id=partner.peer_id,
+                )
+        ticks = plane.drain(max_ticks=120)
+        counters = plane.counters
+        assert counters.effective_delivery_ratio == 1.0
+        assert counters.repair_messages > 0
+        assert counters.dropped > 0
+        assert ticks < 120
+        # Every applied entry carries a convergence-lag sample.
+        assert len(counters.convergence_lags) == counters.entries_applied
+        assert counters.convergence_lag_p95 >= counters.convergence_lag_p50
+
+    def test_complaints_reach_the_sink_through_gossip(self):
+        # Complaints relayed peer-to-peer are forwarded to the community
+        # store by the first holder to learn of them.
+        plane, peers = self._community_plane(loss=0.7, seed=9)
+        for tick in range(8):
+            plane.advance(float(tick))
+            plane.submit_complaint(peers[0], "villain", timestamp=float(tick))
+        plane.drain(max_ticks=200)
+        counters = plane.counters
+        assert counters.effective_delivery_ratio == 1.0
+        assert peers[0].reputation.complaint_model.counts("villain").received == 8
+
+    def test_zero_loss_gossip_stays_quietly_converged(self):
+        plane, peers = self._community_plane(loss=0.0)
+        plane.submit_records(
+            "g0", [_record(supplier="g1", consumer="g0")], sender_id="g1"
+        )
+        ticks = plane.drain(max_ticks=50)
+        assert plane.counters.effective_delivery_ratio == 1.0
+        assert ticks < 10
+
+
+class TestChurnHardening:
+    """Satellite: churned recipients must surface as accounted-for losses."""
+
+    def test_unregister_with_in_flight_and_pending_retransmits(self):
+        plane = EvidencePlane(
+            mode="async",
+            latency_model=FixedLatency(2.0),
+            loss=0.0,
+            repair="retransmit",
+            retransmit_timeout=1.0,
+        )
+        stay = CommunityPeer("stay")
+        churner = CommunityPeer("gone")
+        plane.register_peer(stay)
+        plane.register_peer(churner)
+        record = _record(supplier="stay", consumer="gone")
+        plane.submit_records("gone", [record], sender_id="stay")
+        plane.submit_records("stay", [record], sender_id="gone")
+        # Departure with one message in flight and one pending retransmit
+        # targeting the churner must neither raise nor leak pending state.
+        plane.unregister_peer("gone")
+        ticks = plane.drain(max_ticks=50)
+        counters = plane.counters
+        assert ticks < 50  # pending state to the churner was dropped
+        assert (
+            counters.delivered
+            + counters.dropped
+            + counters.undeliverable
+            + counters.in_flight
+            == counters.sent
+        )
+        assert counters.in_flight == 0
+        assert counters.entries_emitted == 2
+        assert counters.entries_expired == 1  # the churner's mail
+        assert counters.missing_entries == 0
+        assert counters.effective_delivery_ratio == pytest.approx(0.5)
+        assert stay.reputation.interaction_count() == 1
+
+    def test_gossip_orphaned_origin_is_written_off(self):
+        # An entry whose origin departs before any surviving journal holds a
+        # copy can never be repaired; the ledger must close it out.
+        plane = EvidencePlane(
+            mode="async",
+            latency_model=FixedLatency(1.0),
+            loss=0.97,
+            rng=random.Random(2),
+            repair="gossip",
+            gossip_period=1.0,
+        )
+        peers = [CommunityPeer(f"c{i}") for i in range(3)]
+        for peer in peers:
+            plane.register_peer(peer)
+        plane.submit_records("c1", [_record()], sender_id="c0")
+        plane.unregister_peer("c0")  # origin gone, journal copy gone with it
+        ticks = plane.drain(max_ticks=60)
+        counters = plane.counters
+        assert ticks < 60
+        assert counters.missing_entries == 0
+
+    def test_async_churned_community_run_keeps_ledger_consistent(self):
+        scenario = build_scenario(
+            "high-churn", size=12, rounds=10, seed=4,
+            evidence_mode="async", evidence_latency=1.5, evidence_loss=0.3,
+            evidence_repair="retransmit",
+        )
+        simulation = scenario.simulation(TrustAwareStrategy())
+        result = simulation.run()
+        churned = [r.churn for r in result.rounds if r.churn and r.churn.departed]
+        assert churned  # departures actually happened mid-flight
+        simulation.evidence_plane.drain(max_ticks=150)
+        counters = result.evidence_counters
+        assert (
+            counters.delivered
+            + counters.dropped
+            + counters.undeliverable
+            + counters.in_flight
+            == counters.sent
+        )
+        assert counters.missing_entries == 0
+        assert (
+            counters.entries_applied + counters.entries_expired
+            == counters.entries_emitted
+        )
+
+
+def _trust_free_run(evidence_mode, repair="off", loss=0.0, latency=0.0, seed=11):
+    """An ebay run whose outcomes cannot depend on trust state.
+
+    Random matching plus the goods-first baseline reads no trust before
+    acting, so sync and async runs execute identical interactions — which
+    makes the final backend states comparable.
+    """
+    scenario = build_scenario("ebay", size=10, rounds=12, seed=seed)
+    config = dataclasses.replace(
+        scenario.config,
+        evidence_mode=evidence_mode,
+        evidence_latency=latency,
+        evidence_loss=loss,
+        evidence_repair=repair,
+    )
+    simulation = CommunitySimulation(
+        scenario.peers, GoodsFirstStrategy(), config
+    )
+    result = simulation.run()
+    if evidence_mode == "async":
+        simulation.evidence_plane.drain(max_ticks=300)
+    return scenario.peers, result
+
+
+class TestConvergenceToSyncState:
+    """Satellite: a drained repaired run matches the sync run's backends."""
+
+    @pytest.mark.parametrize("repair", ["gossip", "retransmit"])
+    @pytest.mark.parametrize("method", [TrustMethod.BETA, TrustMethod.DECAY])
+    def test_beta_family_snapshots_match(self, repair, method):
+        sync_peers, _ = _trust_free_run("sync")
+        async_peers, result = _trust_free_run(
+            "async", repair=repair, loss=0.25, latency=1.0
+        )
+        assert result.evidence_counters.dropped > 0
+        assert result.evidence_effective_delivery_ratio == 1.0
+        ids = sorted(peer.peer_id for peer in sync_peers)
+        by_id_sync = {peer.peer_id: peer for peer in sync_peers}
+        by_id_async = {peer.peer_id: peer for peer in async_peers}
+        for peer_id in ids:
+            others = [other for other in ids if other != peer_id]
+            sync_scores = by_id_sync[peer_id].reputation.trust_scores(
+                others, method=method, now=12.0
+            )
+            async_scores = by_id_async[peer_id].reputation.trust_scores(
+                others, method=method, now=12.0
+            )
+            np.testing.assert_allclose(
+                async_scores, sync_scores, rtol=0, atol=1e-9
+            )
+
+    def test_complaint_counts_match_modulo_order(self):
+        sync_peers, _ = _trust_free_run("sync", seed=13)
+        async_peers, result = _trust_free_run(
+            "async", repair="gossip", loss=0.3, latency=1.0, seed=13
+        )
+        assert result.evidence_effective_delivery_ratio == 1.0
+        ids = sorted(peer.peer_id for peer in sync_peers)
+        sync_model = sync_peers[0].reputation.complaint_model
+        async_model = async_peers[0].reputation.complaint_model
+        for peer_id in ids:
+            sync_counts = sync_model.counts(peer_id)
+            async_counts = async_model.counts(peer_id)
+            assert (sync_counts.received, sync_counts.filed) == (
+                async_counts.received,
+                async_counts.filed,
+            )
+
+    def test_lossless_repair_off_matches_sync_too(self):
+        # The pre-repair pinning: repair off + zero loss must not change
+        # what the backends learn.
+        sync_peers, _ = _trust_free_run("sync")
+        async_peers, _ = _trust_free_run("async", latency=1e-6)
+        for sync_peer, async_peer in zip(sync_peers, async_peers):
+            assert (
+                sync_peer.reputation.interaction_count()
+                == async_peer.reputation.interaction_count()
+            )
+
+
+class TestPartitionHealScenario:
+    def test_scenario_defaults_to_async_gossip_with_fault(self):
+        scenario = build_scenario("partition-heal", size=10, rounds=8, seed=1)
+        config = scenario.config
+        assert config.evidence_mode == "async"
+        assert config.evidence_repair == "gossip"
+        assert config.evidence_fault is not None
+        # Cross-clique links are down before the heal point, up after it.
+        assert config.evidence_fault("heal-000", "heal-001", 0.0)
+        assert not config.evidence_fault("heal-000", "heal-002", 0.0)
+        assert not config.evidence_fault("heal-000", "heal-001", 4.0)
+
+    def test_partition_drops_then_heals_and_reconverges(self):
+        scenario = build_scenario(
+            "partition-heal", size=12, rounds=14, seed=3, evidence_loss=0.1
+        )
+        simulation = scenario.simulation(TrustAwareStrategy())
+        result = simulation.run()
+        counters = result.evidence_counters
+        assert counters.dropped > 0  # the partition really cut links
+        simulation.evidence_plane.drain(max_ticks=200)
+        # Anti-entropy backfills everything that was cut or lost.
+        assert result.evidence_effective_delivery_ratio >= 0.99
+        assert counters.missing_entries == 0
+
+    def test_explicit_repair_choice_is_respected(self):
+        scenario = build_scenario(
+            "partition-heal", size=8, rounds=6, seed=1,
+            evidence_repair="retransmit",
+        )
+        assert scenario.config.evidence_repair == "retransmit"
+
+
+class TestFluctuatingBehaviourScenario:
+    def test_population_contains_milkers(self):
+        scenario = build_scenario("fluctuating-behaviour", size=12, rounds=10, seed=2)
+        milkers = [
+            peer for peer in scenario.peers
+            if isinstance(peer.behavior, FluctuatingBehavior)
+        ]
+        assert len(milkers) == 3  # 25% of 12
+        behavior = milkers[0].behavior
+        assert behavior.honesty_at(0.0) == 1.0
+        assert behavior.honesty_at(10.0) < 0.5  # switch at rounds/2 = 5
+
+    def test_milkers_defect_only_after_the_switch(self):
+        scenario = build_scenario("fluctuating-behaviour", size=16, rounds=20, seed=6)
+        milker_ids = {
+            peer.peer_id for peer in scenario.peers
+            if isinstance(peer.behavior, FluctuatingBehavior)
+        }
+        simulation = scenario.simulation(TrustAwareStrategy())
+        result = simulation.run(collect_outcomes=True)
+        switch = scenario.config.rounds * 0.5
+
+        def defector_id(record):
+            if record.defector == "supplier":
+                return record.supplier_id
+            if record.defector == "consumer":
+                return record.consumer_id
+            return None
+
+        early_defections = [
+            outcome for outcome in result.outcomes
+            if outcome.record is not None
+            and not outcome.record.completed
+            and outcome.timestamp < switch
+            and defector_id(outcome.record) in milker_ids
+        ]
+        assert early_defections == []
+
+    def test_registry_defaults_to_decay_backend(self):
+        from repro.workloads import build_registered_scenario
+
+        scenario = build_registered_scenario(
+            "fluctuating-behaviour", size=8, rounds=4, seed=1
+        )
+        assert scenario.trust_method == TrustMethod.DECAY
+
+
+class TestConfigValidation:
+    def test_repair_requires_async(self):
+        with pytest.raises(SimulationError):
+            CommunityConfig(evidence_repair="gossip")
+        with pytest.raises(SimulationError):
+            CommunityConfig(evidence_fault=lambda s, r, now: False)
+
+    def test_unknown_repair_rejected(self):
+        with pytest.raises(SimulationError):
+            CommunityConfig(evidence_mode="async", evidence_repair="quantum")
+
+    def test_invalid_repair_knobs_rejected(self):
+        with pytest.raises(SimulationError):
+            CommunityConfig(evidence_mode="async", gossip_period=0.0)
+        with pytest.raises(SimulationError):
+            CommunityConfig(evidence_mode="async", gossip_fanout=0)
+        with pytest.raises(SimulationError):
+            CommunityConfig(evidence_mode="async", retransmit_timeout=0.0)
+
+    def test_repair_off_with_async_is_fine(self):
+        config = CommunityConfig(evidence_mode="async", evidence_loss=0.1)
+        assert config.evidence_repair == "off"

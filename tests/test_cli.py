@@ -143,6 +143,25 @@ class TestRunCommand:
         assert exit_code == 0
         assert "Backend:           beta" in output
 
+    def test_registry_backend_preference_applies_without_flag(self, capsys):
+        # Scenarios may declare a preferred backend in the registry
+        # (fluctuating-behaviour stresses decay); without an explicit
+        # --backend the CLI must honour it — and report it.
+        exit_code = main(
+            ["run", "--scenario", "fluctuating-behaviour",
+             "--size", "8", "--rounds", "3"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Backend:           decay" in output
+        exit_code = main(
+            ["run", "--scenario", "fluctuating-behaviour",
+             "--backend", "beta", "--size", "8", "--rounds", "3"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Backend:           beta" in output
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "--scenario", "ebay", "--backend", "tarot"])
@@ -216,6 +235,73 @@ class TestRunCommand:
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "Evidence plane:" not in output
+
+    def test_gossip_repair_reports_effective_delivery(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "p2p-file-trading",
+                "--size", "10",
+                "--rounds", "5",
+                "--evidence-mode", "async",
+                "--evidence-latency", "1.0",
+                "--evidence-loss", "0.2",
+                "--evidence-repair", "gossip",
+                "--gossip-period", "2",
+                "--gossip-fanout", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "effective" in output
+        assert "Evidence repair:   gossip:" in output
+        assert "repair messages" in output
+        assert "lag p50/p95" in output
+
+    def test_retransmit_repair_accepted(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "ebay",
+                "--size", "8",
+                "--rounds", "3",
+                "--evidence-mode", "async",
+                "--evidence-loss", "0.3",
+                "--evidence-repair", "retransmit",
+                "--retransmit-timeout", "1.0",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Evidence repair:   retransmit:" in output
+
+    def test_repair_without_async_rejected(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "ebay",
+                "--size", "8",
+                "--rounds", "2",
+                "--evidence-repair", "gossip",
+            ]
+        )
+        assert exit_code == 2
+
+    def test_unknown_repair_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "ebay", "--evidence-repair", "pigeon"])
+
+    def test_partition_heal_upgrades_to_gossip(self, capsys):
+        # The scenario is inherently async; the summary must report the
+        # repair policy that actually ran, not the CLI default.
+        exit_code = main(
+            ["run", "--scenario", "partition-heal", "--size", "8",
+             "--rounds", "4", "--seed", "1"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Evidence plane:" in output
+        assert "Evidence repair:   gossip:" in output
 
     def test_witness_override_accepted(self, capsys):
         exit_code = main(

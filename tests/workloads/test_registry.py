@@ -17,8 +17,14 @@ from repro.workloads.scenarios import SCENARIO_NAMES, build_scenario
 
 
 class TestCatalogue:
-    def test_at_least_seven_scenarios_registered(self):
-        assert len(list_scenarios()) >= 7
+    def test_at_least_ten_scenarios_registered(self):
+        assert len(list_scenarios()) >= 10
+
+    def test_repair_scenarios_are_discoverable(self):
+        partition = get_scenario("partition-heal")
+        assert "repair" in partition.tags
+        milking = get_scenario("fluctuating-behaviour")
+        assert "milking" in milking.tags
 
     def test_sybil_coalition_is_discoverable(self):
         definition = get_scenario("sybil-coalition")
