@@ -18,8 +18,10 @@ bench:
 # REPRO_BENCH_SMOKE, one pass, fail fast.  Keeps benchmarks from silently
 # rotting without paying the full measurement cost.  This includes the
 # enforced acceptance bars: backend batching speedups, sharding overhead
-# (bench_sharded_backend) and the evidence-repair convergence/overhead
-# bars (bench_evidence_repair: gossip >= 0.99 effective delivery at < 3x
+# (bench_sharded_backend), live-rebalance balance and split-pause bars
+# (bench_shard_rebalance: max shard share <= 2/N after auto splits at
+# < 10% pause cost) and the evidence-repair convergence/overhead bars
+# (bench_evidence_repair: gossip >= 0.99 effective delivery at < 3x
 # message overhead under 20% loss).
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PY) -m pytest benchmarks -x -q

@@ -47,7 +47,7 @@ from repro.exceptions import ReproError
 from repro.marketplace import TrustAwareStrategy
 from repro.reputation.manager import TrustMethod
 from repro.simulation.repair import REPAIR_POLICIES
-from repro.trust import ROUTER_NAMES
+from repro.trust import ROUTER_NAMES, ShardedBackend
 from repro.workloads import (
     SCENARIO_NAMES,
     build_registered_scenario,
@@ -175,8 +175,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "are identical for any N)")
     run_parser.add_argument("--shard-router", choices=ROUTER_NAMES,
                             default="hash",
-                            help="shard routing strategy: uniform hash or "
-                            "contiguous key ranges (P-Grid style)")
+                            help="shard routing strategy: uniform hash, "
+                            "contiguous key ranges (P-Grid style) or a "
+                            "consistent-hash ring (hash-style assignment "
+                            "that can split)")
+    run_parser.add_argument("--rebalance", choices=("off", "auto"),
+                            default=None,
+                            help="live shard rebalancing: 'auto' splits a "
+                            "hot shard in place (through the snapshot "
+                            "manifest) when it exceeds the skew threshold "
+                            "or outgrows its row capacity; needs a "
+                            "splittable router, so 'hash' is upgraded to "
+                            "'ring'; splits never change results (default: "
+                            "the scenario's own preference — flash-crowd "
+                            "and high-churn default to auto, everything "
+                            "else to off)")
+    run_parser.add_argument("--rebalance-threshold", type=float, default=2.0,
+                            help="skew factor over the ideal per-shard "
+                            "share (rows / shard count) that triggers a "
+                            "split (must be > 1)")
+    run_parser.add_argument("--max-shards", type=int, default=16,
+                            help="upper bound on the shard count an "
+                            "auto-rebalanced backend may grow to")
     _add_run_options(run_parser)
 
     tolerance_parser = subparsers.add_parser(
@@ -219,6 +239,35 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0 if plan.agreed else 1
 
 
+def _rebalance_line(scenario, simulation) -> Optional[str]:
+    """Aggregate live-split activity across every sharded backend of a run."""
+    backends = []
+    seen = set()
+    candidates = [scenario.complaint_store]
+    # Departed churn peers' backends may have split before leaving; count
+    # them too or the summary undercounts exactly on the churn scenarios.
+    for peer in list(simulation.peers) + list(simulation.departed_peers):
+        candidates.extend(peer.reputation.backends.values())
+    for candidate in candidates:
+        if isinstance(candidate, ShardedBackend) and id(candidate) not in seen:
+            seen.add(id(candidate))
+            backends.append(candidate)
+    if not backends:
+        return None
+    splits = sum(len(backend.rebalance_events) for backend in backends)
+    pause = sum(backend.rebalance_seconds for backend in backends)
+    store = scenario.complaint_store
+    store_shards = (
+        f", store now {store.num_shards} shards"
+        if isinstance(store, ShardedBackend)
+        else ""
+    )
+    return (
+        f"auto: {splits} live splits across {len(backends)} sharded "
+        f"backends{store_shards}, split pause {pause:.3f}s"
+    )
+
+
 def _print_result(
     scenario_name: str,
     backend: str,
@@ -226,6 +275,7 @@ def _print_result(
     shards: int = 1,
     router: str = "hash",
     repair: str = "off",
+    rebalance_line: Optional[str] = None,
 ) -> None:
     print(f"Scenario:          {scenario_name}")
     if shards > 1:
@@ -240,6 +290,8 @@ def _print_result(
     print(f"Completion rate:   {result.completion_rate:.3f}")
     print(f"Honest welfare:    {result.honest_welfare():.1f}")
     print(f"Honest losses:     {result.honest_losses():.1f}")
+    if rebalance_line is not None:
+        print(f"Shard rebalance:   {rebalance_line}")
     counters = result.evidence_counters
     if counters is not None:
         print(
@@ -292,8 +344,7 @@ def _command_list_scenarios(args: argparse.Namespace) -> int:
 
 def _command_run(args: argparse.Namespace) -> int:
     strategy = STRATEGY_FACTORIES[args.strategy]()
-    scenario = build_registered_scenario(
-        args.scenario,
+    params = dict(
         backend=args.backend,
         size=args.size,
         rounds=args.rounds,
@@ -309,7 +360,14 @@ def _command_run(args: argparse.Namespace) -> int:
         witness_count=args.witnesses,
         shards=args.shards,
         shard_router=args.shard_router,
+        rebalance_threshold=args.rebalance_threshold,
+        max_shards=args.max_shards,
     )
+    if args.rebalance is not None:
+        # Only override when asked: flash-crowd and high-churn carry an
+        # "auto" registry default that an unset flag must not clobber.
+        params["rebalance"] = args.rebalance
+    scenario = build_registered_scenario(args.scenario, **params)
     simulation = scenario.simulation(strategy)
     result = simulation.run()
     if scenario.config.evidence_repair != "off":
@@ -317,13 +375,26 @@ def _command_run(args: argparse.Namespace) -> int:
         # policy bounded extra ticks past the horizon to converge before
         # reporting it (the counters object is shared with the result).
         simulation.evidence_plane.drain(max_ticks=200)
+    store = scenario.complaint_store
+    actual_router = (
+        store.router.name
+        if isinstance(store, ShardedBackend)
+        else args.shard_router
+    )
     _print_result(
         # Report what actually ran: the registry may supply the backend
         # (partition-heal -> complaint, fluctuating-behaviour -> decay) and
-        # scenarios may upgrade the repair policy (partition-heal -> gossip).
+        # scenarios may upgrade the repair policy (partition-heal -> gossip)
+        # or the shard router (rebalance auto upgrades hash -> ring, which
+        # the built store reflects).
         args.scenario, scenario.trust_method, result,
-        shards=args.shards, router=args.shard_router,
+        shards=args.shards, router=actual_router,
         repair=scenario.config.evidence_repair,
+        rebalance_line=(
+            _rebalance_line(scenario, simulation)
+            if scenario.config.rebalance == "auto"
+            else None
+        ),
     )
     return 0
 

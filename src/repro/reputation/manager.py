@@ -32,6 +32,7 @@ from repro.trust import (
     ComplaintTrustModel,
     DecayModel,
     ExponentialDecay,
+    RebalancePolicy,
     ScalarBetaBackendAdapter,
     TrustBackend,
     TrustObservation,
@@ -96,7 +97,15 @@ class ReputationManager:
         Non-exponential decay models fall back to the scalar adapter,
         which cannot be sharded.
     shard_router:
-        Routing strategy for sharded backends (``"hash"`` or ``"range"``).
+        Routing strategy for sharded backends (``"hash"``, ``"range"`` or
+        ``"ring"``).
+    rebalance:
+        Optional :class:`~repro.trust.sharding.RebalancePolicy` enabling
+        live shard splits under load for every backend this manager
+        creates (requires a splittable router, i.e. ``"range"`` or
+        ``"ring"``).  With a policy, backends are sharded even at
+        ``shards=1`` so they can grow in place.  A shared complaint
+        backend supplied from outside keeps whatever policy it has.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class ReputationManager:
         decay_half_life: float = 100.0,
         shards: int = 1,
         shard_router: str = "hash",
+        rebalance: Optional["RebalancePolicy"] = None,
     ):
         if not owner_id:
             raise ReputationError("owner_id must be non-empty")
@@ -119,6 +129,7 @@ class ReputationManager:
         self._owner_id = owner_id
         self._shards = shards
         self._shard_router = shard_router
+        self._rebalance = rebalance
         if decay is None:
             beta_backend: TrustBackend = create_backend(
                 "beta",
@@ -126,6 +137,7 @@ class ReputationManager:
                 prior_beta=prior_beta,
                 shards=shards,
                 router=shard_router,
+                rebalance=rebalance,
             )
         elif isinstance(decay, ExponentialDecay):
             beta_backend = create_backend(
@@ -135,6 +147,7 @@ class ReputationManager:
                 half_life=decay.half_life,
                 shards=shards,
                 router=shard_router,
+                rebalance=rebalance,
             )
         else:
             beta_backend = ScalarBetaBackendAdapter(
@@ -188,6 +201,7 @@ class ReputationManager:
                 ),
                 shards=shards if complaint_store is None else 1,
                 router=shard_router,
+                rebalance=rebalance if complaint_store is None else None,
             )
         # The DECAY backend is materialised lazily on first use (most peers
         # never query it); recorded interactions are replayed into it then,
@@ -245,6 +259,7 @@ class ReputationManager:
                 half_life=self._decay_half_life,
                 shards=self._shards,
                 router=self._shard_router,
+                rebalance=self._rebalance,
             )
             backend.update_many(
                 [self._observation_from(record) for record in self._interactions]

@@ -82,6 +82,17 @@ class CommunityConfig:
     #: Optional link-fault predicate ``(sender, recipient, now) -> bool``;
     #: a faulted link drops deterministically (partition scenarios).
     evidence_fault: Optional[Callable[[str, str, float], bool]] = None
+    #: Live shard rebalancing of the trust backends: ``"off"`` or
+    #: ``"auto"``.  The scenario builder constructs the backends (and their
+    #: :class:`~repro.trust.sharding.RebalancePolicy`) before the
+    #: simulation starts; the config records the knobs so the run summary
+    #: can report what actually ran.  Splits are score-invisible, so the
+    #: setting never changes a result — only the backend layout.
+    rebalance: str = "off"
+    #: Skew factor over the ideal per-shard share that triggers a split.
+    rebalance_threshold: float = 2.0
+    #: Upper bound on the shard count a rebalanced backend may grow to.
+    max_shards: int = 16
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -133,6 +144,16 @@ class CommunityConfig:
             raise SimulationError("retransmit_timeout must be > 0")
         if self.witness_count < 0:
             raise SimulationError("witness_count must be >= 0")
+        if self.rebalance not in ("off", "auto"):
+            raise SimulationError(
+                f"rebalance must be 'off' or 'auto', got {self.rebalance!r}"
+            )
+        if self.rebalance_threshold <= 1.0:
+            raise SimulationError(
+                f"rebalance_threshold must be > 1, got {self.rebalance_threshold}"
+            )
+        if self.max_shards < 1:
+            raise SimulationError(f"max_shards must be >= 1, got {self.max_shards}")
         if self.valuation_model is None:
             self.valuation_model = MarginValuationModel(
                 cost_low=1.0, cost_high=10.0, margin_low=-0.1, margin_high=0.6
@@ -259,6 +280,10 @@ class CommunitySimulation:
                 "churn with arrivals requires a peer_factory to build new peers"
             )
         self._streams = RandomStreams(self._config.seed)
+        #: Peers churned out of the community, retained for end-of-run
+        #: introspection (their trust backends — and any live splits those
+        #: performed — would otherwise vanish from run reporting).
+        self._departed_peers: List[CommunityPeer] = []
         self._evidence = EvidencePlane(
             mode=self._config.evidence_mode,
             latency=self._config.evidence_latency,
@@ -278,6 +303,11 @@ class CommunitySimulation:
     @property
     def peers(self) -> List[CommunityPeer]:
         return self._peers
+
+    @property
+    def departed_peers(self) -> List[CommunityPeer]:
+        """Peers removed by churn during the run (in departure order)."""
+        return self._departed_peers
 
     @property
     def config(self) -> CommunityConfig:
@@ -361,10 +391,12 @@ class CommunitySimulation:
         if self._churn is None or not self._churn.is_active:
             return None
         factory = self._peer_factory or (lambda _index: None)  # pragma: no cover
+        by_id = {peer.peer_id: peer for peer in self._peers}
         event = self._churn.apply(
             self._peers, round_index, self._streams("churn"), factory
         )
         for peer_id in event.departed:
+            self._departed_peers.append(by_id[peer_id])
             self._evidence.unregister_peer(peer_id)
         for peer in self._peers:
             if peer.peer_id in event.arrived:

@@ -16,7 +16,12 @@ from repro.simulation.behaviors import (
     TruthfulWitness,
     WitnessReportPolicy,
 )
-from repro.trust import BetaBelief, ComplaintStore, stack_witness_beliefs
+from repro.trust import (
+    BetaBelief,
+    ComplaintStore,
+    RebalancePolicy,
+    stack_witness_beliefs,
+)
 
 __all__ = ["CommunityPeer"]
 
@@ -44,6 +49,7 @@ class CommunityPeer:
         witness_policy: Optional[WitnessReportPolicy] = None,
         shards: int = 1,
         shard_router: str = "hash",
+        rebalance: Optional["RebalancePolicy"] = None,
     ):
         if not peer_id:
             raise SimulationError("peer_id must be non-empty")
@@ -60,6 +66,7 @@ class CommunityPeer:
             complaint_store=complaint_store,
             shards=shards,
             shard_router=shard_router,
+            rebalance=rebalance,
         )
         self.defection_penalty = defection_penalty
         self.supplies_goods = supplies_goods

@@ -50,8 +50,12 @@ from repro.trust.sharding import (
     ROUTER_NAMES,
     HashShardRouter,
     RangeShardRouter,
+    RebalanceEvent,
+    RebalancePolicy,
+    RingShardRouter,
     ShardedBackend,
     ShardRouter,
+    ShardSplitError,
     create_router,
 )
 from repro.trust.evidence import (
@@ -84,8 +88,12 @@ __all__ = [
     "ShardRouter",
     "HashShardRouter",
     "RangeShardRouter",
+    "RingShardRouter",
     "ROUTER_NAMES",
     "create_router",
+    "RebalancePolicy",
+    "RebalanceEvent",
+    "ShardSplitError",
     "ShardedBackend",
     # evidence
     "InteractionOutcome",

@@ -264,6 +264,15 @@ class TrustBackend:
         """Subjects the backend holds evidence about."""
         raise NotImplementedError
 
+    def row_count(self) -> int:
+        """Number of resident per-subject rows.
+
+        The sharded layer polls this as its load signal after every write
+        batch, so backends override it with an O(1) answer instead of this
+        default's full name-table materialisation.
+        """
+        return len(self.known_subjects())
+
     def scores_snapshot(self, now: Optional[float] = None) -> Dict[str, float]:
         """Trust estimates for every known subject."""
         subjects = self.known_subjects()
@@ -409,6 +418,9 @@ class BetaTrustBackend(TrustBackend):
 
     def known_subjects(self) -> Tuple[str, ...]:
         return self._index.names()
+
+    def row_count(self) -> int:
+        return len(self._index)
 
     def snapshot(self) -> Dict[str, np.ndarray]:
         size = len(self._index)
@@ -575,6 +587,9 @@ class DecayTrustBackend(TrustBackend):
 
     def known_subjects(self) -> Tuple[str, ...]:
         return self._index.names()
+
+    def row_count(self) -> int:
+        return len(self._index)
 
     def snapshot(self) -> Dict[str, np.ndarray]:
         size = len(self._index)
@@ -970,6 +985,10 @@ class ComplaintTrustBackend(TrustBackend):
         names = self._index.names()
         return tuple(names[row] for row in range(size) if in_store[row])
 
+    def row_count(self) -> int:
+        self._sync()
+        return int(np.count_nonzero(self._in_store[: len(self._index)]))
+
     def all_complaints(self) -> Tuple[Complaint, ...]:
         """Every complaint in the underlying store (requires enumeration)."""
         if not hasattr(self._store, "all_complaints"):
@@ -1155,13 +1174,18 @@ def register_backend(
 def create_backend(name: str, **params: object) -> TrustBackend:
     """Instantiate a registered backend by name.
 
-    ``shards=N`` (with an optional ``router="hash"|"range"``) wraps the
-    backend in a :class:`~repro.trust.sharding.ShardedBackend` partitioning
-    the peer-id space across ``N`` inner backends of the requested kind;
-    ``shards=1`` (the default) returns the plain backend.
+    ``shards=N`` (with an optional ``router="hash"|"range"|"ring"``) wraps
+    the backend in a :class:`~repro.trust.sharding.ShardedBackend`
+    partitioning the peer-id space across ``N`` inner backends of the
+    requested kind; ``shards=1`` (the default) returns the plain backend.
+    ``rebalance`` accepts a :class:`~repro.trust.sharding.RebalancePolicy`
+    enabling live shard splits under load — with a policy the backend is
+    sharded even at ``shards=1``, so a single-shard deployment can grow in
+    place as its population does.
     """
     shards = int(params.pop("shards", 1))  # type: ignore[arg-type]
     router = params.pop("router", "hash")
+    rebalance = params.pop("rebalance", None)
     if shards < 1:
         raise TrustModelError(f"shards must be >= 1, got {shards}")
     factory = _BACKEND_FACTORIES.get(name)
@@ -1169,10 +1193,12 @@ def create_backend(name: str, **params: object) -> TrustBackend:
         raise TrustModelError(
             f"unknown trust backend {name!r}; registered: {backend_names()}"
         )
-    if shards > 1:
+    if shards > 1 or rebalance is not None:
         from repro.trust.sharding import ShardedBackend
 
-        return ShardedBackend(name, shards, router=router, **params)
+        return ShardedBackend(
+            name, shards, router=router, rebalance=rebalance, **params
+        )
     return factory(**params)
 
 

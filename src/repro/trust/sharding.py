@@ -17,12 +17,40 @@ A :class:`ShardRouter` maps a subject-id to its home shard through a stable
 across processes and runs, unlike Python's seeded ``hash``):
 
 ``hash``
-    ``key % N`` — uniform, order-free assignment.
+    ``key % N`` — uniform, order-free assignment.  Stateless, which also
+    means a split would reassign (almost) every key: hash routers cannot
+    rebalance; use ``ring`` for hash-style assignment that can.
 ``range``
-    ``key * N >> 32`` — ``N`` contiguous, equal-width intervals of the key
-    space, mirroring how P-Grid partitions its trie key space; a shard owns
-    a contiguous key range, which is the layout a distributed deployment
-    splitting by key prefix would produce.
+    ``N`` contiguous key intervals held as an explicit boundary table,
+    mirroring how P-Grid partitions its trie key space.  The default
+    layout is equal-width intervals; splitting a shard halves its interval
+    in place, so only the split shard's keys move.  The table always
+    starts at key 0 and covers the whole 32-bit key space — an id minted
+    long after construction (a flash-crowd arrival) lands in a real
+    interval, never in an out-of-range fallback shard.
+``ring``
+    Consistent hashing: each shard owns one point on the 32-bit ring and
+    the arc that ends at it.  Splitting a shard places the new shard's
+    point at the midpoint of the hot shard's widest arc, so — exactly like
+    ``range`` — only the split shard's keys move, while the initial
+    assignment stays hash-like (arc widths are pseudo-random, not ordered
+    intervals).
+
+Live rebalancing
+----------------
+The P-Grid substrate re-partitions the key space as the population shifts:
+a peer *splits its path* when its partition grows hot.  A
+:class:`RebalancePolicy` gives :class:`ShardedBackend` the same move: the
+backend keeps per-shard load counters (resident rows and routed evidence
+units), and when a shard exceeds the policy's skew threshold (or its
+absolute row capacity) it is split in place through the very same
+``shard-NNNN/*`` snapshot manifest a re-sharding restore uses — snapshot
+the hot shard, redistribute its rows (beta/decay) or re-file its complaint
+log (complaint) onto two successor shards, and atomically swap the
+router's key intervals (``range``) or ring points (``ring``).  Row values
+are copied bit-for-bit and complaint logs are re-filed complaint-for-
+complaint, so results stay bit-identical to an unsharded run before,
+during and after every split — the sharding invariant survives churn.
 
 Semantics
 ---------
@@ -42,15 +70,22 @@ Semantics
   medians would silently change the decision rule.
 * ``snapshot`` / ``restore`` produce a per-shard manifest: each shard
   serialises independently under a ``shard-NNNN/`` key prefix (the format a
-  multi-worker deployment checkpoints in parallel), plus the router/shard
-  count needed to re-shard.  Restoring into a *different* shard count (or
-  router) redistributes per-subject rows — or re-files the complaint log —
-  onto the new layout without score drift.
+  multi-worker deployment checkpoints in parallel), plus the router name
+  *and its boundary state* needed to re-shard — a snapshot taken after
+  live splits records the uneven layout, so its per-shard logs are
+  interpreted correctly on restore.  Restoring into a *different* shard
+  count or router layout redistributes per-subject rows — or re-files the
+  complaint log — onto the new layout without score drift; restoring onto
+  a single shard, or onto more shards than there are peers (some shards
+  end up empty), both work.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -70,15 +105,29 @@ __all__ = [
     "ShardRouter",
     "HashShardRouter",
     "RangeShardRouter",
+    "RingShardRouter",
     "ROUTER_NAMES",
     "create_router",
+    "RebalancePolicy",
+    "RebalanceEvent",
+    "ShardSplitError",
     "ShardedBackend",
 ]
 
+
+class ShardSplitError(TrustModelError):
+    """A shard cannot be split (unsplittable router or exhausted key range).
+
+    Raised *before* any router mutation, so catching it is always safe;
+    any other error escaping a split indicates a real failure (and the
+    backend rolls its router back before re-raising).
+    """
+
 _KEY_BITS = 32
+_KEY_SPACE = 1 << _KEY_BITS
 
 #: Router strategies selectable by name (CLI ``--shard-router``).
-ROUTER_NAMES = ("hash", "range")
+ROUTER_NAMES = ("hash", "range", "ring")
 
 
 def shard_key(peer_id: str) -> int:
@@ -98,6 +147,9 @@ class ShardRouter:
     #: Registry name of the routing strategy.
     name: str = "router"
 
+    #: Whether :meth:`split` is supported (a prerequisite for rebalancing).
+    supports_split: bool = False
+
     def __init__(self, num_shards: int):
         if num_shards < 1:
             raise TrustModelError(f"num_shards must be >= 1, got {num_shards}")
@@ -110,6 +162,38 @@ class ShardRouter:
     def shard_of(self, peer_id: str) -> int:
         """Home shard index of ``peer_id`` in ``[0, num_shards)``."""
         raise NotImplementedError
+
+    def split(self, hot_index: int) -> int:
+        """Split shard ``hot_index``'s key range in place.
+
+        Returns the index of the newly created shard (always the next free
+        index, ``num_shards`` before the call).  Only the split shard's
+        keys move: every other shard's assignment is untouched.  Routers
+        without boundary state cannot split.
+        """
+        raise ShardSplitError(
+            f"the {self.name!r} router cannot split shards; "
+            "rebalancing needs a 'range' or 'ring' router"
+        )
+
+    def state(self) -> Optional[np.ndarray]:
+        """Serialisable boundary state (``None`` for stateless routers)."""
+        return None
+
+    def same_layout(self, other: "ShardRouter") -> bool:
+        """Whether ``other`` assigns every key exactly as this router does."""
+        if self.name != other.name or self._num_shards != other.num_shards:
+            return False
+        mine, theirs = self.state(), other.state()
+        if mine is None or theirs is None:
+            return mine is None and theirs is None
+        return mine.shape == theirs.shape and bool(np.array_equal(mine, theirs))
+
+    def _check_hot_index(self, hot_index: int) -> None:
+        if not 0 <= hot_index < self._num_shards:
+            raise TrustModelError(
+                f"shard index {hot_index} out of range [0, {self._num_shards})"
+            )
 
     def describe(self) -> str:
         return f"{self.name}({self._num_shards})"
@@ -124,28 +208,262 @@ class HashShardRouter(ShardRouter):
         return shard_key(peer_id) % self._num_shards
 
 
+def _validate_boundary_state(
+    state: np.ndarray, num_shards: int, router_name: str
+) -> Tuple[List[int], List[int]]:
+    """Validate a ``(2, M)`` positions/owners table and return python lists."""
+    table = np.asarray(state, dtype=np.int64)
+    if table.ndim != 2 or table.shape[0] != 2 or table.shape[1] < 1:
+        raise TrustModelError(
+            f"{router_name} router state must be a (2, M>=1) array, "
+            f"got shape {table.shape}"
+        )
+    positions = [int(value) for value in table[0]]
+    owners = [int(value) for value in table[1]]
+    if any(not 0 <= position < _KEY_SPACE for position in positions):
+        raise TrustModelError(
+            f"{router_name} router positions must lie in [0, 2^{_KEY_BITS})"
+        )
+    if any(low >= high for low, high in zip(positions, positions[1:])):
+        raise TrustModelError(
+            f"{router_name} router positions must be strictly increasing"
+        )
+    if set(owners) != set(range(num_shards)):
+        raise TrustModelError(
+            f"{router_name} router state must assign at least one key range "
+            f"to every shard in [0, {num_shards})"
+        )
+    return positions, owners
+
+
 class RangeShardRouter(ShardRouter):
-    """Contiguous-range assignment: shard ``i`` owns key interval
-    ``[i * 2^32 / N, (i + 1) * 2^32 / N)`` — the P-Grid-style split of the
-    key space into equal-width, contiguous ranges."""
+    """Contiguous-interval assignment over an explicit boundary table.
+
+    The default layout gives shard ``i`` the equal-width interval
+    ``[ceil(i * 2^32 / N), ceil((i + 1) * 2^32 / N))`` — the P-Grid-style
+    split of the key space into contiguous ranges.  The table always
+    starts at key 0 and (implicitly) ends at ``2^32``, so *every* possible
+    routing key falls inside a configured interval: ids first seen after
+    construction route deterministically into a real home interval, and
+    the assignment is stable across snapshot/restore because the table
+    itself is the serialised router state.  A table whose first boundary
+    is not 0 would silently send all low keys to whichever shard owns the
+    last interval (an over-wide fallback), so it is rejected outright.
+
+    :meth:`split` halves the hot shard's (widest) interval in place; the
+    upper half moves to the new shard, nothing else changes.
+    """
 
     name = "range"
+    supports_split = True
+
+    def __init__(self, num_shards: int, state: Optional[np.ndarray] = None):
+        super().__init__(num_shards)
+        if state is None:
+            self._starts = [
+                ((index << _KEY_BITS) + num_shards - 1) // num_shards
+                for index in range(num_shards)
+            ]
+            self._owners = list(range(num_shards))
+        else:
+            starts, owners = _validate_boundary_state(state, num_shards, self.name)
+            if starts[0] != 0:
+                raise TrustModelError(
+                    "range router intervals must start at key 0: keys below "
+                    f"the first boundary ({starts[0]}) would fall outside "
+                    "every configured interval"
+                )
+            self._starts, self._owners = starts, owners
 
     def shard_of(self, peer_id: str) -> int:
-        return (shard_key(peer_id) * self._num_shards) >> _KEY_BITS
+        return self._owners[bisect_right(self._starts, shard_key(peer_id)) - 1]
+
+    def split(self, hot_index: int) -> int:
+        self._check_hot_index(hot_index)
+        best: Optional[Tuple[int, int]] = None  # (width, table position)
+        for position, owner in enumerate(self._owners):
+            if owner != hot_index:
+                continue
+            end = (
+                self._starts[position + 1]
+                if position + 1 < len(self._starts)
+                else _KEY_SPACE
+            )
+            width = end - self._starts[position]
+            if best is None or width > best[0]:
+                best = (width, position)
+        if best is None or best[0] < 2:
+            raise ShardSplitError(
+                f"shard {hot_index} owns no splittable key interval"
+            )
+        width, position = best
+        midpoint = self._starts[position] + width // 2
+        new_index = self._num_shards
+        self._starts.insert(position + 1, midpoint)
+        self._owners.insert(position + 1, new_index)
+        self._num_shards += 1
+        return new_index
+
+    def state(self) -> np.ndarray:
+        return np.array([self._starts, self._owners], dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"{self.name}({self._num_shards}, {len(self._starts)} intervals)"
 
 
-_ROUTER_CLASSES = {cls.name: cls for cls in (HashShardRouter, RangeShardRouter)}
+class RingShardRouter(ShardRouter):
+    """Consistent hashing: shards own arcs of the 32-bit key ring.
+
+    Each shard starts with one point (``crc32`` of its shard label) and
+    owns the arc ending at that point, so the initial assignment is
+    hash-like — arc widths are pseudo-random, unrelated to shard order —
+    but, unlike the ``hash`` router's modulo, a split moves *only* the
+    split shard's keys: the new shard's point lands at the midpoint of the
+    hot shard's widest arc and takes the lower half of it.
+    """
+
+    name = "ring"
+    supports_split = True
+
+    def __init__(self, num_shards: int, state: Optional[np.ndarray] = None):
+        super().__init__(num_shards)
+        if state is None:
+            placed: Dict[int, int] = {}
+            for index in range(num_shards):
+                position = shard_key(f"shard-{index:04d}")
+                while position in placed:  # crc32 collision: probe forward
+                    position = (position + 1) % _KEY_SPACE
+                placed[position] = index
+            ordered = sorted(placed)
+            self._points = ordered
+            self._owners = [placed[position] for position in ordered]
+        else:
+            self._points, self._owners = _validate_boundary_state(
+                state, num_shards, self.name
+            )
+
+    def shard_of(self, peer_id: str) -> int:
+        index = bisect_left(self._points, shard_key(peer_id))
+        if index == len(self._points):
+            index = 0  # wrap: keys past the last point belong to the first
+        return self._owners[index]
+
+    def split(self, hot_index: int) -> int:
+        self._check_hot_index(hot_index)
+        count = len(self._points)
+        best: Optional[Tuple[int, int]] = None  # (arc length, predecessor)
+        for position, owner in enumerate(self._owners):
+            if owner != hot_index:
+                continue
+            if count == 1:
+                predecessor, length = self._points[0], _KEY_SPACE
+            else:
+                predecessor = self._points[position - 1] if position else self._points[-1]
+                length = (self._points[position] - predecessor) % _KEY_SPACE
+            if best is None or length > best[0]:
+                best = (length, predecessor)
+        if best is None or best[0] < 2:
+            raise ShardSplitError(f"shard {hot_index} owns no splittable ring arc")
+        length, predecessor = best
+        midpoint = (predecessor + length // 2) % _KEY_SPACE
+        new_index = self._num_shards
+        insert_at = bisect_left(self._points, midpoint)
+        self._points.insert(insert_at, midpoint)
+        self._owners.insert(insert_at, new_index)
+        self._num_shards += 1
+        return new_index
+
+    def state(self) -> np.ndarray:
+        return np.array([self._points, self._owners], dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"{self.name}({self._num_shards}, {len(self._points)} points)"
 
 
-def create_router(name: str, num_shards: int) -> ShardRouter:
-    """Instantiate a routing strategy by name."""
+_ROUTER_CLASSES = {
+    cls.name: cls for cls in (HashShardRouter, RangeShardRouter, RingShardRouter)
+}
+
+
+def create_router(
+    name: str, num_shards: int, state: Optional[np.ndarray] = None
+) -> ShardRouter:
+    """Instantiate a routing strategy by name (optionally from saved state)."""
     router_class = _ROUTER_CLASSES.get(name)
     if router_class is None:
         raise TrustModelError(
             f"unknown shard router {name!r}; registered: {ROUTER_NAMES}"
         )
-    return router_class(num_shards)
+    if state is None:
+        return router_class(num_shards)
+    if not router_class.supports_split:
+        raise TrustModelError(f"the {name!r} router carries no boundary state")
+    return router_class(num_shards, state=state)
+
+
+# ----------------------------------------------------------------------
+# Rebalancing policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """When to split a hot shard (the P-Grid path-split rule, parametrised).
+
+    A shard is split when it holds at least ``min_shard_rows`` rows and
+    either exceeds the *skew* bound — more than ``threshold`` times the
+    ideal per-shard share ``total_rows / num_shards`` (meaningful only with
+    two or more shards) — or the absolute *capacity* bound ``split_rows``.
+    The capacity bound defaults on (1024 rows) because it is the only
+    trigger a single-shard backend has: without it, ``rebalance`` at
+    ``shards=1`` could never grow in place.  Pass ``split_rows=None`` for
+    pure skew semantics.  Among shards over the bounds, the one with the
+    most resident rows splits first, routed update traffic breaking ties.
+    Splits stop at ``max_shards``; loads are checked every ``check_every``
+    write batches.
+    """
+
+    threshold: float = 2.0
+    max_shards: int = 16
+    split_rows: Optional[int] = 1024
+    min_shard_rows: int = 8
+    check_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 1.0:
+            raise TrustModelError(
+                f"rebalance threshold must be > 1, got {self.threshold}"
+            )
+        if self.max_shards < 1:
+            raise TrustModelError(f"max_shards must be >= 1, got {self.max_shards}")
+        if self.split_rows is not None and self.split_rows < 2:
+            raise TrustModelError(f"split_rows must be >= 2, got {self.split_rows}")
+        if self.min_shard_rows < 2:
+            raise TrustModelError(
+                f"min_shard_rows must be >= 2, got {self.min_shard_rows}"
+            )
+        if self.check_every < 1:
+            raise TrustModelError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+
+    def should_split(self, rows: int, total_rows: int, num_shards: int) -> bool:
+        """Whether a shard holding ``rows`` of ``total_rows`` must split."""
+        if num_shards >= self.max_shards or rows < self.min_shard_rows:
+            return False
+        if self.split_rows is not None and rows > self.split_rows:
+            return True
+        return num_shards > 1 and rows > self.threshold * (total_rows / num_shards)
+
+
+@dataclass(frozen=True)
+class RebalanceEvent:
+    """One completed live split, for introspection and benchmarks."""
+
+    source_shard: int
+    new_shard: int
+    rows_kept: int
+    rows_moved: int
+    num_shards_after: int
+    seconds: float
 
 
 #: Per-subject row keys of the row-partitioned backends, used to re-shard a
@@ -168,10 +486,15 @@ class ShardedBackend(TrustBackend):
         Registered backend name instantiated per shard (``beta``,
         ``complaint``, ``decay``, or any :func:`register_backend` addition).
     num_shards:
-        How many partitions to split the peer-id space into.
+        How many partitions to split the peer-id space into initially
+        (rebalancing may grow the count up to the policy's ``max_shards``).
     router:
         Routing strategy: a name from :data:`ROUTER_NAMES` or a ready
         :class:`ShardRouter` (whose shard count must match).
+    rebalance:
+        Optional :class:`RebalancePolicy`.  When set, the backend monitors
+        per-shard load after every write batch and splits hot shards in
+        place (requires a splittable router, i.e. ``range`` or ``ring``).
     **shard_params:
         Constructor parameters forwarded to every inner backend.
 
@@ -190,6 +513,7 @@ class ShardedBackend(TrustBackend):
         kind: str,
         num_shards: int,
         router: object = "hash",
+        rebalance: Optional[RebalancePolicy] = None,
         **shard_params: object,
     ):
         if num_shards < 1:
@@ -205,6 +529,7 @@ class ShardedBackend(TrustBackend):
                 "a shared store cannot back multiple shards"
             )
         self._kind = kind
+        self._shard_params: Dict[str, object] = dict(shard_params)
         if isinstance(router, ShardRouter):
             if router.num_shards != num_shards:
                 raise TrustModelError(
@@ -218,8 +543,30 @@ class ShardedBackend(TrustBackend):
             create_backend(kind, **shard_params) for _ in range(num_shards)
         )
         self._complaint_family = isinstance(self._shards[0], ComplaintTrustBackend)
+        if rebalance is not None:
+            if not isinstance(rebalance, RebalancePolicy):
+                raise TrustModelError(
+                    "rebalance must be a RebalancePolicy or None, "
+                    f"got {type(rebalance).__name__}"
+                )
+            if not self._router.supports_split:
+                raise TrustModelError(
+                    f"rebalancing requires a splittable router "
+                    f"('range' or 'ring'), not {self._router.name!r}"
+                )
+            if not self._complaint_family and kind not in _ROW_KEYS:
+                raise TrustModelError(
+                    f"rebalancing is not supported for backend kind {kind!r}"
+                )
+        self._rebalance = rebalance
+        self._rebalance_events: List[RebalanceEvent] = []
+        self._split_seconds = 0.0
+        self._in_rebalance = False
+        #: Evidence units (observations / complaint deliveries) routed to
+        #: each shard — the update-traffic half of the load signal.
+        self._shard_updates: List[int] = [0] * num_shards
         # Routing is pure but hashing every id on every query adds up;
-        # memoise per instance (the router never changes after construction).
+        # memoise per instance (invalidated whenever the router changes).
         self._route_cache: Dict[str, int] = {}
         # Complaint family: a complaint is delivered to both involved peers'
         # home shards; restricting each shard's counters to its own peer-id
@@ -234,9 +581,12 @@ class ShardedBackend(TrustBackend):
 
     def _restrict_shard_rows(self) -> None:
         for index, shard in enumerate(self._shards):
-            shard.restrict_rows(  # type: ignore[attr-defined]
-                lambda agent, home=index: self.shard_index_of(agent) == home
-            )
+            self._restrict_one(shard, index)
+
+    def _restrict_one(self, shard: TrustBackend, home: int) -> None:
+        shard.restrict_rows(  # type: ignore[attr-defined]
+            lambda agent, home=home: self.shard_index_of(agent) == home
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -259,8 +609,44 @@ class ShardedBackend(TrustBackend):
         """The inner backends, indexable by shard index."""
         return self._shards
 
+    @property
+    def rebalance_policy(self) -> Optional[RebalancePolicy]:
+        return self._rebalance
+
+    @property
+    def rebalance_events(self) -> Tuple[RebalanceEvent, ...]:
+        """Every live split performed so far, in order."""
+        return tuple(self._rebalance_events)
+
+    @property
+    def rebalance_seconds(self) -> float:
+        """Cumulative wall time spent inside live splits (the split pause)."""
+        return self._split_seconds
+
+    @property
+    def shard_update_counts(self) -> Tuple[int, ...]:
+        """Evidence units routed to each shard (split-adjusted)."""
+        return tuple(self._shard_updates)
+
+    def shard_row_counts(self) -> np.ndarray:
+        """Resident rows per shard (the working-set half of the load signal).
+
+        Uses the backends' O(1) ``row_count`` rather than materialising
+        ``known_subjects()`` name tuples — this is polled after every write
+        batch when a rebalance policy is active.
+        """
+        return np.array(
+            [shard.row_count() for shard in self._shards], dtype=np.int64
+        )
+
     def describe(self) -> str:
-        return f"sharded({len(self._shards)}x{self._kind}, {self._router.name})"
+        suffix = ""
+        if self._rebalance is not None:
+            suffix = f", rebalance@{self._rebalance.threshold:g}"
+        return (
+            f"sharded({len(self._shards)}x{self._kind}, "
+            f"{self._router.name}{suffix})"
+        )
 
     def shard_index_of(self, peer_id: str) -> int:
         """Home shard index of ``peer_id`` (memoised routing)."""
@@ -364,7 +750,9 @@ class ShardedBackend(TrustBackend):
         self._writes += 1
         for index, bucket in enumerate(buckets):
             if bucket is not None:
+                self._shard_updates[index] += len(bucket)
                 self._shards[index].update_many(bucket)
+        self._maybe_rebalance()
 
     def record_complaints(self, complaints: Sequence[Complaint]) -> None:
         """Scatter ready-made complaints to the accused's and filer's shards."""
@@ -378,7 +766,245 @@ class ShardedBackend(TrustBackend):
                 buckets.setdefault(filer_home, []).append(complaint)
         self._writes += 1
         for index in sorted(buckets):
+            self._shard_updates[index] += len(buckets[index])
             self._shards[index].record_complaints(buckets[index])  # type: ignore[attr-defined]
+        self._maybe_rebalance()
+
+    # ------------------------------------------------------------------
+    # Live rebalancing
+    # ------------------------------------------------------------------
+    def _maybe_rebalance(self) -> None:
+        """Split hot shards until the policy's bounds hold (or max is hit)."""
+        policy = self._rebalance
+        if policy is None or self._in_rebalance:
+            return
+        if self._writes % policy.check_every:
+            return
+        self._in_rebalance = True
+        try:
+            while len(self._shards) < policy.max_shards:
+                rows = self.shard_row_counts()
+                total = int(rows.sum())
+                # Hottest by resident rows; routed update traffic breaks
+                # ties (two equally-sized shards: split the busier one).
+                updates = self._shard_updates
+                hot = max(
+                    range(len(rows)),
+                    key=lambda index: (int(rows[index]), updates[index]),
+                )
+                if not policy.should_split(int(rows[hot]), total, len(self._shards)):
+                    break
+                before = int(rows[hot])
+                try:
+                    self.split_shard(hot)
+                except ShardSplitError:
+                    break  # key range too narrow to split further
+                if self._rebalance_events[-1].rows_kept >= before:
+                    break  # the split moved nothing; stop rather than spin
+        finally:
+            self._in_rebalance = False
+
+    def split_shard(self, index: int) -> int:
+        """Split shard ``index`` in place; returns the new shard's index.
+
+        The hot shard is snapshotted through the same per-shard manifest
+        format :meth:`snapshot` emits, the router's key table gains the new
+        shard (only the hot shard's keys move), the snapshot's rows are
+        redistributed (beta/decay) or its complaint log re-filed
+        (complaint) onto the two successors, and the shard table is swapped
+        atomically.  Scores are bit-identical before and after.
+        """
+        if not 0 <= index < len(self._shards):
+            raise TrustModelError(
+                f"shard index {index} out of range [0, {len(self._shards)})"
+            )
+        if not self._complaint_family and self._kind not in _ROW_KEYS:
+            raise TrustModelError(
+                f"live splits are not supported for backend kind {self._kind!r}"
+            )
+        started = time.perf_counter()
+        state = self._shards[index].snapshot()
+        saved_state = self._router.state()
+        saved_shards = self._router.num_shards
+        new_index = self._router.split(index)
+        self._route_cache.clear()
+        try:
+            if self._complaint_family:
+                kept_shard, moved_shard, kept, moved = self._split_complaints(
+                    state, index, new_index
+                )
+            else:
+                kept_shard, moved_shard, kept, moved = self._split_rows(
+                    state, index, new_index
+                )
+        except Exception:
+            # Roll the router back so a failed redistribution leaves the
+            # backend exactly as it was: the shard table was never touched
+            # and routing must not point at a phantom shard.
+            self._router = create_router(
+                self._router.name, saved_shards, state=saved_state
+            )
+            self._route_cache.clear()
+            raise
+        shards = list(self._shards)
+        shards[index] = kept_shard
+        shards.append(moved_shard)
+        self._shards = tuple(shards)
+        # Re-apportion the split shard's routed-update tally by surviving
+        # rows so the traffic signal stays roughly proportional.
+        updates = self._shard_updates[index]
+        kept_updates = updates * kept // max(1, kept + moved)
+        self._shard_updates[index] = kept_updates
+        self._shard_updates.append(updates - kept_updates)
+        self._writes += 1
+        seconds = time.perf_counter() - started
+        self._split_seconds += seconds
+        self._rebalance_events.append(
+            RebalanceEvent(
+                source_shard=index,
+                new_shard=new_index,
+                rows_kept=kept,
+                rows_moved=moved,
+                num_shards_after=len(self._shards),
+                seconds=seconds,
+            )
+        )
+        return new_index
+
+    def _row_states(
+        self,
+        shard_states: List[Dict[str, np.ndarray]],
+        num_targets: int,
+        position_of,
+    ) -> List[Dict[str, np.ndarray]]:
+        """Regroup row-partitioned shard snapshots into ``num_targets`` states.
+
+        The single redistribution engine behind both live splits and
+        re-sharding restores: rows are bucketed by ``position_of(peer_id)``
+        and each target gets a restorable shard state carrying shard 0's
+        configuration keys.  Row values are copied verbatim, so no score
+        can drift.
+        """
+        row_keys = _ROW_KEYS.get(self._kind)
+        if row_keys is None:
+            raise TrustModelError(
+                f"re-sharding is not supported for backend kind {self._kind!r}"
+            )
+        config_keys = [
+            key
+            for key in shard_states[0]
+            if key not in row_keys and key != "peer_ids"
+        ]
+        names: List[List[str]] = [[] for _ in range(num_targets)]
+        rows: List[Dict[str, List[float]]] = [
+            {key: [] for key in row_keys} for _ in range(num_targets)
+        ]
+        for shard_state in shard_states:
+            for row, peer_id in enumerate(shard_state["peer_ids"]):
+                peer_name = str(peer_id)
+                target = position_of(peer_name)
+                names[target].append(peer_name)
+                for key in row_keys:
+                    rows[target][key].append(shard_state[key][row])
+        states = []
+        for index in range(num_targets):
+            state = {
+                key: np.asarray(shard_states[0][key]) for key in config_keys
+            }
+            state["peer_ids"] = np.array(names[index], dtype=object)
+            for key in row_keys:
+                state[key] = np.array(rows[index][key], dtype=_ROW_DTYPES[key])
+            states.append(state)
+        return states
+
+    def _split_rows(
+        self, state: Dict[str, np.ndarray], kept_index: int, moved_index: int
+    ) -> Tuple[TrustBackend, TrustBackend, int, int]:
+        """Redistribute a beta/decay shard snapshot onto two successors."""
+
+        def position_of(peer_name: str) -> int:
+            home = self.shard_index_of(peer_name)
+            if home == kept_index:
+                return 0
+            if home == moved_index:
+                return 1
+            # A split may only rehome keys between the two successors;
+            # anything else is a router-invariant violation that would
+            # otherwise strand the row where queries never reach it.
+            raise TrustModelError(
+                f"split rehomed {peer_name!r} to shard {home}, outside "
+                f"successors ({kept_index}, {moved_index})"
+            )
+
+        states = self._row_states([state], 2, position_of)
+        successors = []
+        for shard_state in states:
+            successor = create_backend(self._kind, **self._shard_params)
+            successor.restore(shard_state)
+            successors.append(successor)
+        return (
+            successors[0],
+            successors[1],
+            len(states[0]["peer_ids"]),
+            len(states[1]["peer_ids"]),
+        )
+
+    def _complaint_shard_from_config(
+        self, shard_state: Dict[str, np.ndarray], home_index: int
+    ) -> ComplaintTrustBackend:
+        """A fresh, row-restricted complaint shard with a snapshot's config."""
+        tolerance_factor, trust_scale = (
+            float(value) for value in shard_state["config"]
+        )
+        shard = ComplaintTrustBackend(
+            tolerance_factor=tolerance_factor,
+            trust_scale=trust_scale,
+            metric_mode=str(np.asarray(shard_state["metric_mode"]).item()),
+        )
+        self._restrict_one(shard, home_index)
+        return shard
+
+    def _split_complaints(
+        self, state: Dict[str, np.ndarray], kept_index: int, moved_index: int
+    ) -> Tuple[TrustBackend, TrustBackend, int, int]:
+        """Re-file a complaint shard's log onto two successor shards.
+
+        Every complaint in the hot shard's store involves at least one peer
+        homed in the old range; it is re-delivered to whichever of the two
+        successors now homes each involved peer.  Shards outside the split
+        already hold their own copies (the two-shard delivery invariant),
+        so nothing is delivered beyond the successors and no count changes.
+        """
+        successors = (
+            self._complaint_shard_from_config(state, kept_index),
+            self._complaint_shard_from_config(state, moved_index),
+        )
+        batches: Tuple[List[Complaint], List[Complaint]] = ([], [])
+        for complainant, accused, timestamp in zip(
+            state["complainants"], state["accused"], state["timestamps"]
+        ):
+            complaint = Complaint(
+                complainant_id=str(complainant),
+                accused_id=str(accused),
+                timestamp=float(timestamp),
+            )
+            targets = {
+                self.shard_index_of(complaint.accused_id),
+                self.shard_index_of(complaint.complainant_id),
+            }
+            if kept_index in targets:
+                batches[0].append(complaint)
+            if moved_index in targets:
+                batches[1].append(complaint)
+        for side in (0, 1):
+            if batches[side]:
+                successors[side].record_complaints(batches[side])
+        return (
+            successors[0],
+            successors[1],
+            successors[0].row_count(),
+            successors[1].row_count(),
+        )
 
     # ------------------------------------------------------------------
     # Reads (scatter the query, gather into caller order)
@@ -567,9 +1193,12 @@ class ShardedBackend(TrustBackend):
     def snapshot(self) -> Dict[str, np.ndarray]:
         """Serialise every shard independently under a ``shard-NNNN/`` prefix.
 
-        The manifest (shard prefixes, router name, inner kind) is what a
-        multi-worker deployment needs to checkpoint shards in parallel and
-        to restore onto a different shard layout.
+        The manifest (shard prefixes, router name *and boundary state*,
+        inner kind) is what a multi-worker deployment needs to checkpoint
+        shards in parallel and to restore onto a different shard layout.
+        The router state matters once live splits have run: the shards are
+        no longer equal-width, and re-filing a snapshot's complaint logs
+        needs the exact key table they were written under.
         """
         state: Dict[str, np.ndarray] = {
             "backend": np.array(self.name),
@@ -577,6 +1206,9 @@ class ShardedBackend(TrustBackend):
             "router": np.array(self._router.name),
             "num_shards": np.array([len(self._shards)]),
         }
+        router_state = self._router.state()
+        if router_state is not None:
+            state["router_state"] = router_state
         prefixes: List[str] = []
         for index, shard in enumerate(self._shards):
             prefix = f"shard-{index:04d}"
@@ -610,55 +1242,45 @@ class ShardedBackend(TrustBackend):
                     if key.startswith(marker)
                 }
             )
+        old_router = create_router(
+            str(np.asarray(state["router"]).item()),
+            len(shard_states),
+            state=state.get("router_state"),
+        )
         self._route_cache.clear()
         self._writes += 1
-        old_router_name = str(np.asarray(state["router"]).item())
-        if (
-            len(shard_states) == len(self._shards)
-            and old_router_name == self._router.name
-        ):
+        if old_router.same_layout(self._router):
             for shard, shard_state in zip(self._shards, shard_states):
                 shard.restore(shard_state)
+            self._shard_updates = [0] * len(self._shards)
             return
-        self._restore_resharded(old_router_name, shard_states)
+        self._in_rebalance = True  # a restore is not a load signal
+        try:
+            self._restore_resharded(old_router, shard_states)
+        finally:
+            self._in_rebalance = False
+            # Re-filing a complaint log goes through record_complaints,
+            # which tallies routed units; a restore is not traffic, so the
+            # load counters reset *after* the redistribution.
+            self._shard_updates = [0] * len(self._shards)
 
     def _restore_resharded(
-        self, old_router_name: str, shard_states: List[Dict[str, np.ndarray]]
+        self, old_router: ShardRouter, shard_states: List[Dict[str, np.ndarray]]
     ) -> None:
-        """Redistribute a snapshot taken under a different shard layout."""
-        old_router = create_router(old_router_name, len(shard_states))
+        """Redistribute a snapshot taken under a different shard layout.
+
+        Handles any layout change: different shard count (more shards than
+        peers leaves some shards empty; a single shard absorbs everything),
+        different router strategy, or the uneven boundary tables a
+        rebalanced run checkpoints.
+        """
         if self._complaint_family:
             self._reshard_complaints(old_router, shard_states)
             return
-        row_keys = _ROW_KEYS.get(self._kind)
-        if row_keys is None:
-            raise TrustModelError(
-                f"re-sharding is not supported for backend kind {self._kind!r}"
-            )
-        config_keys = [
-            key
-            for key in shard_states[0]
-            if key not in row_keys and key != "peer_ids"
-        ]
-        names: List[List[str]] = [[] for _ in self._shards]
-        rows: List[Dict[str, List[float]]] = [
-            {key: [] for key in row_keys} for _ in self._shards
-        ]
-        for shard_state in shard_states:
-            for row, peer_id in enumerate(shard_state["peer_ids"]):
-                target = self.shard_index_of(str(peer_id))
-                names[target].append(str(peer_id))
-                for key in row_keys:
-                    rows[target][key].append(shard_state[key][row])
-        for index, shard in enumerate(self._shards):
-            shard_state = {
-                key: np.asarray(shard_states[0][key]) for key in config_keys
-            }
-            shard_state["peer_ids"] = np.array(names[index], dtype=object)
-            for key in row_keys:
-                shard_state[key] = np.array(
-                    rows[index][key], dtype=_ROW_DTYPES[key]
-                )
+        states = self._row_states(
+            shard_states, len(self._shards), self.shard_index_of
+        )
+        for shard, shard_state in zip(self._shards, states):
             shard.restore(shard_state)
 
     def _reshard_complaints(
@@ -680,17 +1302,8 @@ class ShardedBackend(TrustBackend):
                             timestamp=float(timestamp),
                         )
                     )
-        tolerance_factor, trust_scale = (
-            float(value) for value in shard_states[0]["config"]
-        )
-        metric_mode = str(np.asarray(shard_states[0]["metric_mode"]).item())
         self._shards = tuple(
-            ComplaintTrustBackend(
-                tolerance_factor=tolerance_factor,
-                trust_scale=trust_scale,
-                metric_mode=metric_mode,
-            )
-            for _ in self._shards
+            self._complaint_shard_from_config(shard_states[0], index)
+            for index in range(len(self._shards))
         )
-        self._restrict_shard_rows()
         self.record_complaints(complaints)

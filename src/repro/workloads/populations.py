@@ -23,7 +23,7 @@ from repro.simulation.behaviors import (
     RationalDefectorBehavior,
 )
 from repro.simulation.peer import CommunityPeer
-from repro.trust import ComplaintStore
+from repro.trust import ComplaintStore, RebalancePolicy
 
 __all__ = ["PopulationSpec", "build_population", "population_factory", "honesty_map"]
 
@@ -114,6 +114,7 @@ def build_population(
     trust_method: str = TrustMethod.BETA,
     shards: int = 1,
     shard_router: str = "hash",
+    rebalance: Optional[RebalancePolicy] = None,
 ) -> List[CommunityPeer]:
     """Build the peers described by ``spec``.
 
@@ -137,6 +138,7 @@ def build_population(
                 trust_method=trust_method,
                 shards=shards,
                 shard_router=shard_router,
+                rebalance=rebalance,
             )
         )
     return peers
@@ -149,6 +151,7 @@ def population_factory(
     trust_method: str = TrustMethod.BETA,
     shards: int = 1,
     shard_router: str = "hash",
+    rebalance: Optional[RebalancePolicy] = None,
 ) -> Callable[[int], CommunityPeer]:
     """A factory for churn arrivals drawing behaviours from the same spec."""
     rng = random.Random(seed + 1)
@@ -164,6 +167,7 @@ def population_factory(
             trust_method=trust_method,
             shards=shards,
             shard_router=shard_router,
+            rebalance=rebalance,
         )
 
     return factory

@@ -144,7 +144,11 @@ _BUILTIN_DEFINITIONS = (
         summary="Digital goods under constant arrival/departure; stale evidence "
         "stresses decay-weighted trust.",
         builder=_builder("high-churn"),
-        tags=("stress", "churn", "decay-backend"),
+        tags=("stress", "churn", "decay-backend", "rebalance"),
+        # Churn turnover keeps growing the interned id space; live shard
+        # rebalancing is on by default so the partitions track it (splits
+        # are score-invisible, so results are unchanged).
+        defaults={"rebalance": "auto"},
     ),
     ScenarioDefinition(
         name="collusive-witness",
@@ -170,9 +174,13 @@ _BUILTIN_DEFINITIONS = (
     ScenarioDefinition(
         name="flash-crowd",
         summary="Burst arrivals of unknown peers swamp the community; "
-        "stresses cold-start trust and sharded peer-id routing.",
+        "stresses cold-start trust and live shard rebalancing.",
         builder=_builder("flash-crowd"),
-        tags=("stress", "churn", "cold-start", "sharding"),
+        tags=("stress", "churn", "cold-start", "sharding", "rebalance"),
+        # The monotonically growing id space is the rebalancer's home
+        # turf: hot shards split live as the crowd arrives (splits are
+        # score-invisible, so results are unchanged).
+        defaults={"rebalance": "auto"},
     ),
     ScenarioDefinition(
         name="partition-heal",

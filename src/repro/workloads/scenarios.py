@@ -27,7 +27,7 @@ from repro.simulation.churn import ChurnModel
 from repro.simulation.community import CommunityConfig, CommunitySimulation
 from repro.simulation.evidence import COMPLAINT_SINK
 from repro.simulation.peer import CommunityPeer
-from repro.trust import ComplaintStore, create_backend
+from repro.trust import ComplaintStore, RebalancePolicy, create_backend
 from repro.workloads.populations import (
     PopulationSpec,
     build_population,
@@ -102,6 +102,9 @@ def build_scenario(
     witness_count: Optional[int] = None,
     shards: int = 1,
     shard_router: str = "hash",
+    rebalance: str = "off",
+    rebalance_threshold: float = 2.0,
+    max_shards: int = 16,
 ) -> ScenarioSpec:
     """Construct one of the named scenarios.
 
@@ -138,7 +141,18 @@ def build_scenario(
     backend's forgetting against late evidence).  ``shards`` partitions
     every trust backend (each peer's own and the community's shared
     complaint store) by peer-id range across that many inner backends;
-    results are bit-identical to ``shards=1``.
+    results are bit-identical to ``shards=1``.  ``rebalance="auto"``
+    additionally lets every sharded backend *split hot shards live* while
+    the community runs (the P-Grid path-split under churn): a shard
+    exceeding ``rebalance_threshold`` times the ideal per-shard share — or
+    outgrowing an absolute per-shard row capacity scaled to the community
+    size, which is how a single-shard run starts splitting at all — is
+    snapshotted and its rows redistributed onto two successor shards, up
+    to ``max_shards``.  Splitting needs a splittable router, so a ``hash``
+    request is upgraded to ``ring`` (consistent hashing — same hash-style
+    assignment, but a split moves only the hot shard's keys).  Splits are
+    score-invisible: results stay bit-identical to an unsharded run
+    before, during and after every split.
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
@@ -146,7 +160,28 @@ def build_scenario(
         )
     if shards < 1:
         raise WorkloadError(f"shards must be >= 1, got {shards}")
+    if rebalance not in ("off", "auto"):
+        raise WorkloadError(
+            f"rebalance must be 'off' or 'auto', got {rebalance!r}"
+        )
     trust_method = _resolve_trust_method(backend)
+    rebalance_policy: Optional[RebalancePolicy] = None
+    if rebalance == "auto":
+        if shard_router == "hash":
+            # Modulo hashing cannot split without reassigning every key;
+            # consistent hashing keeps hash-style assignment and splits
+            # cleanly, so an auto-rebalanced run upgrades to it.
+            shard_router = "ring"
+        rebalance_policy = RebalancePolicy(
+            threshold=rebalance_threshold,
+            max_shards=max_shards,
+            # The capacity bound bootstraps growth (a single shard has no
+            # skew to measure) and tracks the community size so flash-crowd
+            # arrivals actually trip it.
+            split_rows=max(16, 2 * size),
+            min_shard_rows=8,
+            check_every=1,
+        )
     scenario_witness_count = 0
     evidence_fault: Optional[Callable[[str, str, float], bool]] = None
     # One vectorized complaint backend shared by the whole community is the
@@ -154,7 +189,11 @@ def build_scenario(
     # counters are updated incrementally with no cache rebuilds.  With
     # shards > 1 the store itself is partitioned by peer-id range.
     shared_store = create_backend(
-        "complaint", metric_mode="balanced", shards=shards, router=shard_router
+        "complaint",
+        metric_mode="balanced",
+        shards=shards,
+        router=shard_router,
+        rebalance=rebalance_policy,
     )
     churn: Optional[ChurnModel] = None
     factory: Optional[Callable[[int], CommunityPeer]] = None
@@ -246,6 +285,7 @@ def build_scenario(
             trust_method=trust_method,
             shards=shards,
             shard_router=shard_router,
+            rebalance=rebalance_policy,
         )
     elif name == "collusive-witness":
         spec = PopulationSpec(
@@ -331,6 +371,7 @@ def build_scenario(
             trust_method=trust_method,
             shards=shards,
             shard_router=shard_router,
+            rebalance=rebalance_policy,
         )
     elif name == "partition-heal":
         # Two cliques (even/odd peer index) lose every cross-partition
@@ -453,6 +494,9 @@ def build_scenario(
         witness_count=(
             witness_count if witness_count is not None else scenario_witness_count
         ),
+        rebalance=rebalance,
+        rebalance_threshold=rebalance_threshold,
+        max_shards=max_shards,
     )
     peers = build_population(
         spec,
@@ -461,6 +505,7 @@ def build_scenario(
         trust_method=trust_method,
         shards=shards,
         shard_router=shard_router,
+        rebalance=rebalance_policy,
     )
     if name == "sybil-coalition":
         coalition_peers = [

@@ -207,6 +207,78 @@ class TestRunCommand:
         with pytest.raises(SystemExit):
             main(["run", "--scenario", "ebay", "--shard-router", "zodiac"])
 
+    def test_rebalanced_run_reports_the_upgraded_router(self, capsys):
+        """rebalance auto upgrades hash->ring; the summary must say ring."""
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "flash-crowd",
+                "--shards", "2",
+                "--size", "8",
+                "--rounds", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 shards, ring router" in output
+        assert "hash router" not in output
+
+    def test_flash_crowd_rebalances_by_default(self, capsys):
+        """The registry default turns live splitting on for flash-crowd."""
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "flash-crowd",
+                "--size", "16",
+                "--rounds", "10",
+                "--seed", "3",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Shard rebalance:" in output
+        assert "live splits" in output
+
+    def test_rebalance_off_suppresses_splits_and_changes_nothing(self, capsys):
+        """Splits are score-invisible: every reported number matches."""
+        outputs = []
+        for flags in (["--rebalance", "off"], ["--rebalance", "auto",
+                                               "--shards", "2"]):
+            exit_code = main(
+                [
+                    "run",
+                    "--scenario", "flash-crowd",
+                    "--size", "12",
+                    "--rounds", "8",
+                    "--seed", "5",
+                ]
+                + flags
+            )
+            assert exit_code == 0
+            outputs.append(capsys.readouterr().out)
+        assert "Shard rebalance:" not in outputs[0]
+        assert "Shard rebalance:" in outputs[1]
+        strip = lambda text: [
+            line
+            for line in text.splitlines()
+            if not line.startswith(("Backend:", "Shard rebalance:"))
+        ]
+        assert strip(outputs[0]) == strip(outputs[1])
+
+    def test_invalid_rebalance_threshold_rejected(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "--scenario", "flash-crowd",
+                "--rebalance", "auto",
+                "--rebalance-threshold", "1.0",
+                "--size", "8",
+                "--rounds", "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "threshold" in capsys.readouterr().err
+
     def test_scenario_is_required(self):
         with pytest.raises(SystemExit):
             main(["run"])

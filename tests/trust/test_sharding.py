@@ -5,8 +5,11 @@ partitioning the peer-id space is invisible: updates, score queries,
 trust decisions, witness aggregation and snapshot round-trips (including
 re-sharding onto a different shard count) all produce *bit-identical*
 results to the plain backend.  These tests pin that contract for the
-``beta``, ``complaint`` and ``decay`` kinds at 1, 3 and 8 shards, both
-router strategies, plus the empty-shard and single-peer-shard edges.
+``beta``, ``complaint`` and ``decay`` kinds at 1, 3 and 8 shards, all
+three router strategies (``hash``, ``range`` and the consistent-hash
+``ring``), plus the empty-shard and single-peer-shard edges.  Live
+splitting and rebalancing have their own contract in
+``test_rebalance.py``.
 """
 
 import random
