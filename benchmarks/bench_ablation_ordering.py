@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.core.planner import (
@@ -95,10 +95,21 @@ def test_ablation_ordering(benchmark):
     emit("ablation_ordering", table)
     rows = {row[0]: row for row in table.rows}
     greedy = rows["greedy two-phase (library)"]
+    naive = rows["bundle order (naive)"]
+    ascending = rows["ascending consumer value"]
+    emit_json(
+        "ablation_ordering",
+        table_metrics(table),
+        bars={
+            "greedy_complete": bar(greedy[3], 1.0, greedy[3] == 1.0),
+            "naive_incomplete": bar(naive[3], 1.0, naive[3] < 1.0),
+            "ascending_incomplete": bar(ascending[3], 1.0, ascending[3] < 1.0),
+        },
+    )
     # Completeness: the greedy planner finds a schedule for every instance
     # the exhaustive search can schedule.
     assert greedy[3] == 1.0
     # The naive orderings miss a nontrivial share of feasible instances,
     # which is exactly why the ordering rule matters.
-    assert rows["bundle order (naive)"][3] < 1.0
-    assert rows["ascending consumer value"][3] < 1.0
+    assert naive[3] < 1.0
+    assert ascending[3] < 1.0

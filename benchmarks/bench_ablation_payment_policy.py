@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.core.planner import PaymentPolicy, build_sequence, plan_delivery_order
@@ -80,6 +80,32 @@ def test_ablation_payment_policy(benchmark):
     table = run_once(benchmark, build_table)
     emit("ablation_payment_policy", table)
     rows = {row[0]: row for row in table.rows}
+    minimal_row = rows["minimal-exposure"]
+    emit_json(
+        "ablation_payment_policy",
+        table_metrics(table),
+        bars={
+            "all_safe": bar(
+                [row[4] for row in table.rows],
+                "yes",
+                all(row[4] == "yes" for row in table.rows),
+            ),
+            "eager_exposes_supplier_side": bar(
+                rows["eager"][1], rows["lazy"][1],
+                rows["eager"][1] >= rows["lazy"][1],
+            ),
+            "lazy_exposes_consumer_side": bar(
+                rows["lazy"][2], rows["eager"][2],
+                rows["lazy"][2] >= rows["eager"][2],
+            ),
+            "minimal_bounds_both": bar(
+                [minimal_row[1], minimal_row[2]],
+                [rows["eager"][1], rows["lazy"][2]],
+                minimal_row[1] <= rows["eager"][1] + 1e-9
+                and minimal_row[2] <= rows["lazy"][2] + 1e-9,
+            ),
+        },
+    )
     # Every policy produces safe schedules.
     assert all(row[4] == "yes" for row in table.rows)
     # Eager pre-payment exposes the consumer (supplier temptation) more than

@@ -14,7 +14,7 @@ being exposed to false complaints.
 
 from __future__ import annotations
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.marketplace import TrustAwareStrategy
@@ -106,6 +106,24 @@ def test_ablation_trust_sources(benchmark):
     table = run_once(benchmark, build_table)
     emit("ablation_trust_sources", table)
     rows = {row[0]: row for row in table.rows}
+    emit_json(
+        "ablation_trust_sources",
+        table_metrics(table),
+        bars={
+            "error_moderate": bar(
+                max(row[1] for row in table.rows), 0.5,
+                all(row[1] < 0.5 for row in table.rows),
+            ),
+            "combined_conservative": bar(
+                rows[TrustMethod.COMBINED][2], rows[TrustMethod.BETA][2],
+                rows[TrustMethod.COMBINED][2] <= rows[TrustMethod.BETA][2] + 1e-9,
+            ),
+            "honest_welfare_positive": bar(
+                min(row[4] for row in table.rows), 0.0,
+                all(row[4] > 0 for row in table.rows),
+            ),
+        },
+    )
     # Every source keeps the estimation error moderate.
     assert all(row[1] < 0.5 for row in table.rows)
     # The conservative combination never accepts more cheaters than the pure

@@ -24,7 +24,7 @@ import os
 import random
 import time
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.trust.backend import (
@@ -181,6 +181,23 @@ def test_backend_batch_throughput(benchmark):
     table = run_once(benchmark, build_table)
     emit("backend_batch_throughput", table)
     speedups = {row[0]: row[5] for row in table.rows}
+    emit_json(
+        "backend_batch_throughput",
+        table_metrics(table),
+        bars={
+            "beta_speedup": bar(
+                speedups["beta"], REQUIRED_SPEEDUP,
+                speedups["beta"] >= REQUIRED_SPEEDUP,
+            ),
+            "decay_speedup": bar(
+                speedups["decay"], REQUIRED_SPEEDUP,
+                speedups["decay"] >= REQUIRED_SPEEDUP,
+            ),
+            "complaint_no_regression": bar(
+                speedups["complaint"], 1.0, speedups["complaint"] >= 1.0
+            ),
+        },
+    )
     # The vectorized data path must beat the scalar one substantially on the
     # beta family; the complaint backend must at least not regress.
     assert speedups["beta"] >= REQUIRED_SPEEDUP

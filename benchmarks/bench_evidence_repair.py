@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.marketplace.strategy import TrustAwareStrategy
@@ -117,6 +117,31 @@ def test_evidence_repair_convergence(benchmark):
     effective = {policy: rows[policy][4] for policy in POLICIES}
     overhead = {policy: rows[policy][2] for policy in POLICIES}
     drain = {policy: rows[policy][5] for policy in POLICIES}
+    emit_json(
+        "evidence_repair",
+        table_metrics(table),
+        bars={
+            "baseline_lossy": bar(effective["off"], 0.95, effective["off"] < 0.95),
+            "gossip_effective": bar(
+                effective["gossip"], REQUIRED_EFFECTIVE,
+                effective["gossip"] >= REQUIRED_EFFECTIVE,
+            ),
+            "gossip_drain": bar(
+                drain["gossip"], MAX_DRAIN_TICKS, drain["gossip"] < MAX_DRAIN_TICKS
+            ),
+            "gossip_overhead": bar(
+                overhead["gossip"], MAX_OVERHEAD, overhead["gossip"] < MAX_OVERHEAD
+            ),
+            "retransmit_effective": bar(
+                effective["retransmit"], REQUIRED_EFFECTIVE,
+                effective["retransmit"] >= REQUIRED_EFFECTIVE,
+            ),
+            "retransmit_drain": bar(
+                drain["retransmit"], MAX_DRAIN_TICKS,
+                drain["retransmit"] < MAX_DRAIN_TICKS,
+            ),
+        },
+    )
     # The baseline must actually lose evidence at 20% loss...
     assert effective["off"] < 0.95
     # ...gossip must recover essentially all of it within the drain budget

@@ -17,7 +17,7 @@ jump to positive values and grow with trust.
 
 from __future__ import annotations
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.core.gametheory import ExposureGame, cooperation_discount_threshold
@@ -80,6 +80,27 @@ def test_ext_exposure_game(benchmark):
     )
     trades = table.column("trade happens")
     utilities = table.column("eq. consumer utility")
+    first_trade = trades.index("yes") if "yes" in trades else -1
+    metrics = table_metrics(table)
+    metrics["discount_threshold"] = threshold
+    emit_json(
+        "ext_exposure_game",
+        metrics,
+        bars={
+            "distrust_blocks_trade": bar(trades[0], "no", trades[0] == "no"),
+            "trust_enables_trade": bar(trades[-1], "yes", trades[-1] == "yes"),
+            "utility_grows_with_trust": bar(
+                utilities[-1], utilities[first_trade],
+                first_trade >= 0
+                and utilities[first_trade] >= 0.0
+                and utilities[-1] >= utilities[first_trade],
+            ),
+            "threshold_in_range": bar(
+                threshold, [0.3, 1.0],
+                threshold is not None and 0.3 < threshold < 1.0,
+            ),
+        },
+    )
     # Distrustful partners do not trade; trusting partners do.
     assert trades[0] == "no"
     assert trades[-1] == "yes"

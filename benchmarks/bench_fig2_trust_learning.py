@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, figure_metrics, run_once
 
 from repro.analysis.figures import Figure
 from repro.reputation.reporting import WitnessPool, indirect_belief
@@ -93,6 +93,23 @@ def test_fig2_trust_learning(benchmark):
     emit("fig2_trust_learning", figure)
     direct = figure.series_by_label("beta (direct)")
     witnessed = figure.series_by_label("beta + witnesses")
+    emit_json(
+        "fig2_trust_learning",
+        figure_metrics(figure),
+        bars={
+            "direct_error_decreases": bar(
+                direct.ys[-1], direct.ys[0], direct.ys[-1] < direct.ys[0]
+            ),
+            "witnessed_error_decreases": bar(
+                witnessed.ys[-1], witnessed.ys[0], witnessed.ys[-1] < witnessed.ys[0]
+            ),
+            "witnesses_speed_coldstart": bar(
+                witnessed.ys[0], direct.ys[0] + 0.02,
+                witnessed.ys[0] <= direct.ys[0] + 0.02,
+            ),
+            "direct_converges": bar(direct.ys[-1], 0.15, direct.ys[-1] < 0.15),
+        },
+    )
     # Error decreases as evidence accumulates (compare 1 vs 40 interactions).
     assert direct.ys[-1] < direct.ys[0]
     assert witnessed.ys[-1] < witnessed.ys[0]

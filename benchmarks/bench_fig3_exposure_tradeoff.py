@@ -15,7 +15,7 @@ maximal.
 
 from __future__ import annotations
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, figure_metrics, run_once
 
 from repro.analysis.figures import Figure
 from repro.core.decision import ExpectedLossBudgetPolicy
@@ -78,9 +78,27 @@ def test_fig3_exposure_tradeoff(benchmark):
     completion = figure.series_by_label("completion rate")
     losses = figure.series_by_label("honest losses (scaled 1/1000)")
     welfare = figure.series_by_label("honest welfare (scaled 1/1000)")
+    best_index = max(range(len(welfare.ys)), key=lambda i: welfare.ys[i])
+    emit_json(
+        "fig3_exposure_tradeoff",
+        figure_metrics(figure),
+        bars={
+            "permissive_trades_more": bar(
+                completion.ys[-1], completion.ys[0],
+                completion.ys[-1] > completion.ys[0],
+            ),
+            "permissive_loses_more": bar(
+                losses.ys[-1], losses.ys[0], losses.ys[-1] > losses.ys[0]
+            ),
+            "welfare_peaks_inside": bar(
+                best_index, len(welfare.ys) - 1,
+                0 < best_index < len(welfare.ys) - 1
+                or welfare.ys[best_index] > welfare.ys[-1],
+            ),
+        },
+    )
     # More permissive budgets trade more and lose more.
     assert completion.ys[-1] > completion.ys[0]
     assert losses.ys[-1] > losses.ys[0]
     # Honest welfare peaks at an intermediate budget (not at either extreme).
-    best_index = max(range(len(welfare.ys)), key=lambda i: welfare.ys[i])
     assert 0 < best_index < len(welfare.ys) - 1 or welfare.ys[best_index] > welfare.ys[-1]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, figure_metrics, run_once
 
 from repro.analysis.figures import Figure
 from repro.pgrid.network import PGridNetwork
@@ -56,6 +56,29 @@ def test_fig4_pgrid_scalability(benchmark):
     figure = run_once(benchmark, build_figure)
     emit("fig4_pgrid_scalability", figure)
     balanced = figure.series_by_label("balanced construction")
+    increments = [
+        balanced.ys[index + 1] - balanced.ys[index]
+        for index in range(len(balanced.ys) - 1)
+    ]
+    logarithmic = all(
+        hops <= math.log2(size) + 1.0 and hops < size / 4
+        for size, hops in zip(NETWORK_SIZES, balanced.ys)
+    )
+    emit_json(
+        "fig4_pgrid_scalability",
+        figure_metrics(figure),
+        bars={
+            "cost_grows": bar(
+                balanced.ys[-1], balanced.ys[0], balanced.ys[-1] > balanced.ys[0]
+            ),
+            "stays_logarithmic": bar(
+                max(balanced.ys), math.log2(NETWORK_SIZES[-1]) + 1.0, logarithmic
+            ),
+            "doubling_adds_constant": bar(
+                max(increments), 2.0, max(increments) <= 2.0
+            ),
+        },
+    )
     # Cost grows with the network...
     assert balanced.ys[-1] > balanced.ys[0]
     # ...but stays logarithmic: bounded by log2(n) + 1 and far below linear.
@@ -63,10 +86,6 @@ def test_fig4_pgrid_scalability(benchmark):
         assert hops <= math.log2(size) + 1.0
         assert hops < size / 4
     # Doubling the network adds roughly a constant number of hops.
-    increments = [
-        balanced.ys[index + 1] - balanced.ys[index]
-        for index in range(len(balanced.ys) - 1)
-    ]
     assert max(increments) <= 2.0
 
 

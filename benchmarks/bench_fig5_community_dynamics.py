@@ -12,7 +12,7 @@ per-round losses stay roughly constant.
 
 from __future__ import annotations
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, figure_metrics, run_once
 
 from repro.analysis.figures import Figure
 from repro.baselines import GoodsFirstStrategy
@@ -79,9 +79,25 @@ def test_fig5_community_dynamics(benchmark):
     emit("fig5_community_dynamics", figure)
     aware = figure.series_by_label("trust-aware")
     naive = figure.series_by_label("goods-first")
+    half = len(aware.ys) // 2
+    emit_json(
+        "fig5_community_dynamics",
+        figure_metrics(figure),
+        bars={
+            "aware_losses_shrink": bar(
+                sum(aware.ys[half:]), sum(aware.ys[:half]),
+                sum(aware.ys[half:]) < sum(aware.ys[:half]),
+            ),
+            "naive_keeps_losing": bar(
+                naive.ys[-1], aware.ys[-1], naive.ys[-1] > aware.ys[-1]
+            ),
+            "aware_total_lower": bar(
+                sum(aware.ys), sum(naive.ys), sum(aware.ys) < sum(naive.ys)
+            ),
+        },
+    )
     # Trust-aware losses shrink over time: the second half of the run loses
     # less than the first half (the first windows are the learning phase).
-    half = len(aware.ys) // 2
     assert sum(aware.ys[half:]) < sum(aware.ys[:half])
     # The naive strategy keeps losing value at a roughly steady (high) rate:
     # its final window still loses more than the trust-aware final window.

@@ -31,7 +31,7 @@ import os
 import random
 import time
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.trust import RebalancePolicy, ShardedBackend, TrustObservation
@@ -148,6 +148,29 @@ def test_shard_rebalance_balance_and_pause(benchmark):
     table = run_once(benchmark, build_table)
     emit("shard_rebalance", table)
     off, auto = table.meta["off"], table.meta["auto"]
+    emit_json(
+        "shard_rebalance",
+        table_metrics(table),
+        bars={
+            "splits_ran": bar(auto["splits"], 0, auto["splits"] > 0),
+            "layout_grew": bar(
+                auto["shards"], INITIAL_SHARDS, auto["shards"] > INITIAL_SHARDS
+            ),
+            "share_balanced": bar(
+                auto["share"], MAX_SHARE_FACTOR / auto["shards"],
+                auto["share"] <= MAX_SHARE_FACTOR / auto["shards"],
+            ),
+            "skew_was_real": bar(
+                off["share"], POLICY.threshold / INITIAL_SHARDS,
+                off["share"] > POLICY.threshold / INITIAL_SHARDS
+                and auto["share"] < off["share"],
+            ),
+            "pause_bounded": bar(
+                auto["pause"], MAX_PAUSE_FRACTION * auto["elapsed"],
+                auto["pause"] < MAX_PAUSE_FRACTION * auto["elapsed"],
+            ),
+        },
+    )
     # The splits actually ran and grew the layout.
     assert auto["splits"] > 0
     assert auto["shards"] > INITIAL_SHARDS

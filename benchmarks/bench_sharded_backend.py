@@ -29,7 +29,7 @@ import os
 import random
 import time
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.trust.backend import TrustObservation, create_backend
@@ -140,6 +140,30 @@ def test_sharded_backend_overhead(benchmark):
         (row[0], row[1]): row[3] for row in table.rows
     }
     share = {(row[0], row[1]): row[4] for row in table.rows}
+    emit_json(
+        "sharded_backend_overhead",
+        table_metrics(table),
+        bars={
+            "beta_overhead_4shards": bar(
+                overhead[("beta", 4)], MAX_OVERHEAD,
+                overhead[("beta", 4)] < MAX_OVERHEAD,
+            ),
+            "decay_overhead_4shards": bar(
+                overhead[("decay", 4)], MAX_OVERHEAD,
+                overhead[("decay", 4)] < MAX_OVERHEAD,
+            ),
+            "complaint_overhead_4shards": bar(
+                overhead[("complaint", 4)], MAX_COMPLAINT_OVERHEAD,
+                overhead[("complaint", 4)] < MAX_COMPLAINT_OVERHEAD,
+            ),
+            "share_4shards": bar(
+                share[("beta", 4)], 0.5, share[("beta", 4)] < 0.5
+            ),
+            "share_16shards": bar(
+                share[("beta", 16)], 0.2, share[("beta", 16)] < 0.2
+            ),
+        },
+    )
     # The scatter/gather bar: sharding must stay a deployment knob, not a
     # performance regression.
     assert overhead[("beta", 4)] < MAX_OVERHEAD

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.core.planner import exists_feasible_sequence, required_total_tolerance
@@ -80,12 +80,32 @@ def build_table() -> Table:
 def test_table1_safe_existence(benchmark):
     table = run_once(benchmark, build_table)
     emit("table1_safe_existence", table)
-    # Sanity of the claimed shape: fully safe schedules are rare for the
-    # physical-goods workloads, and reputation continuation helps.
     ebay_rows = [row for row in table.rows if row[0] == "ebay"]
-    assert all(row[2] <= 50.0 for row in ebay_rows)
-    assert all(row[3] >= row[2] for row in table.rows)
     digital_rows = [row for row in table.rows if row[0] == "digital"]
     stress_rows = [row for row in table.rows if row[0] == "stress"]
+    emit_json(
+        "table1_safe_existence",
+        table_metrics(table),
+        bars={
+            "ebay_safe_rare": bar(
+                max(row[2] for row in ebay_rows), 50.0,
+                all(row[2] <= 50.0 for row in ebay_rows),
+            ),
+            "continuation_helps": bar(
+                min(row[3] - row[2] for row in table.rows), 0.0,
+                all(row[3] >= row[2] for row in table.rows),
+            ),
+            "digital_needs_less_tolerance": bar(
+                max(row[4] for row in digital_rows),
+                min(row[4] for row in stress_rows),
+                max(row[4] for row in digital_rows)
+                < min(row[4] for row in stress_rows),
+            ),
+        },
+    )
+    # Sanity of the claimed shape: fully safe schedules are rare for the
+    # physical-goods workloads, and reputation continuation helps.
+    assert all(row[2] <= 50.0 for row in ebay_rows)
+    assert all(row[3] >= row[2] for row in table.rows)
     # Digital goods (near-zero cost) need far less tolerance than stress bundles.
     assert max(row[4] for row in digital_rows) < min(row[4] for row in stress_rows)

@@ -16,7 +16,7 @@ off under it.
 
 from __future__ import annotations
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.baselines import (
@@ -104,6 +104,29 @@ def _rows_for(table, fraction):
 def test_table2_strategy_comparison(benchmark):
     table = run_once(benchmark, build_table)
     emit("table2_strategy_comparison", table)
+    bars = {}
+    for fraction in DISHONEST_FRACTIONS:
+        rows = _rows_for(table, fraction)
+        trust_aware = rows["trust-aware"]
+        bars[f"enables_trade_{fraction}"] = bar(
+            trust_aware[2], rows["safe-only"][2],
+            trust_aware[2] > rows["safe-only"][2]
+            and trust_aware[3] > rows["safe-only"][3],
+        )
+        bars[f"bounds_losses_{fraction}"] = bar(
+            trust_aware[4],
+            min(rows["goods-first"][4], rows["payment-first"][4]),
+            trust_aware[4] < rows["goods-first"][4]
+            and trust_aware[4] < rows["payment-first"][4],
+        )
+        if fraction >= 0.3:
+            bars[f"welfare_beats_naive_{fraction}"] = bar(
+                trust_aware[3],
+                max(rows["goods-first"][3], rows["payment-first"][3]),
+                trust_aware[3] > rows["goods-first"][3]
+                and trust_aware[3] > rows["payment-first"][3],
+            )
+    emit_json("table2_strategy_comparison", table_metrics(table), bars)
     for fraction in DISHONEST_FRACTIONS:
         rows = _rows_for(table, fraction)
         trust_aware = rows["trust-aware"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.core.planner import plan_delivery_order, plan_delivery_order_quadratic
@@ -57,6 +57,19 @@ def test_table3_planner_cost(benchmark):
     emit("table3_planner_cost", table)
     quadratic_times = table.column("quadratic scan (ms)")
     greedy_times = table.column("greedy (ms)")
+    quadratic_growth = quadratic_times[-1] / max(quadratic_times[2], 1e-6)
+    greedy_growth = greedy_times[-1] / max(greedy_times[2], 1e-6)
+    emit_json(
+        "table3_planner_cost",
+        table_metrics(table),
+        bars={
+            "quadratic_growth": bar(quadratic_growth, 64.0, quadratic_growth < 64.0),
+            "greedy_growth": bar(greedy_growth, 16.0, greedy_growth < 16.0),
+            "largest_under_100ms": bar(
+                quadratic_times[-1], 100.0, quadratic_times[-1] < 100.0
+            ),
+        },
+    )
     # Cost grows with size but stays far below cubic blow-up: going from 100
     # to 400 items (4x) must not inflate the quadratic variant by more than
     # ~64x (with slack for timer noise), nor the greedy one by more than ~16x.

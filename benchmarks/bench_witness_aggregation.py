@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from _harness import emit, run_once
+from _harness import bar, emit, emit_json, run_once, table_metrics
 
 from repro.analysis.tables import Table
 from repro.trust.backend import (
@@ -128,4 +128,13 @@ def test_witness_aggregation_throughput(benchmark):
     table = run_once(benchmark, build_table)
     emit("witness_aggregation_throughput", table)
     speedup = table.rows[1][3]
+    emit_json(
+        "witness_aggregation_throughput",
+        table_metrics(table),
+        bars={
+            "batched_speedup": bar(
+                speedup, REQUIRED_SPEEDUP, speedup >= REQUIRED_SPEEDUP
+            ),
+        },
+    )
     assert speedup >= REQUIRED_SPEEDUP

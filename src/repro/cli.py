@@ -197,6 +197,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--max-shards", type=int, default=16,
                             help="upper bound on the shard count an "
                             "auto-rebalanced backend may grow to")
+    run_parser.add_argument("--compact", action="store_true",
+                            help="memory-bounded trust storage for very "
+                            "large communities: chunked float32/int32 "
+                            "evidence arrays that grow without copying "
+                            "the whole table; beta-family scores stay "
+                            "within float32 tolerance of the default "
+                            "float64 layout (complaint counts are exact) "
+                            "and decisions on the registered scenarios "
+                            "are unchanged")
     _add_run_options(run_parser)
 
     tolerance_parser = subparsers.add_parser(
@@ -362,6 +371,7 @@ def _command_run(args: argparse.Namespace) -> int:
         shard_router=args.shard_router,
         rebalance_threshold=args.rebalance_threshold,
         max_shards=args.max_shards,
+        compact=args.compact,
     )
     if args.rebalance is not None:
         # Only override when asked: flash-crowd and high-churn carry an

@@ -41,6 +41,8 @@ import enum
 import itertools
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.exchange import ExchangeAction, ExchangeSequence
 from repro.core.goods import Good, GoodsBundle
 from repro.core.numeric import EPSILON, approx_ge, approx_le, total
@@ -57,7 +59,9 @@ __all__ = [
     "plan_exchange_or_raise",
     "exists_feasible_sequence",
     "max_prefix_demand",
+    "max_prefix_demand_batch",
     "exchange_is_schedulable",
+    "exchange_is_schedulable_batch",
     "brute_force_delivery_order",
     "required_total_tolerance",
 ]
@@ -361,6 +365,67 @@ def max_prefix_demand(bundle: GoodsBundle) -> float:
     return demand
 
 
+def _max_prefix_demand_kernel(costs: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`max_prefix_demand` for bundles sharing one shape.
+
+    ``costs``/``values`` are ``(k, n)`` arrays of the k bundles' per-item
+    supplier costs and consumer values.  Replays the greedy planner's
+    canonical order row by row with stable sorts and a sequential
+    accumulation, so every row agrees bit for bit with the scalar walk —
+    including tie-breaking (stable sorts preserve original item order, just
+    like ``sorted``) and floating-point accumulation order
+    (``np.add.accumulate`` adds strictly left to right).
+    """
+    if costs.shape[1] == 0:
+        return np.zeros(len(costs))
+    surplus = values >= costs
+    # Canonical order = surplus items by ascending cost, then deficit items
+    # by descending value; a stable sort on the secondary key followed by a
+    # stable sort on the primary key is exactly that lexicographic order.
+    primary = np.where(surplus, 0, 1)
+    secondary = np.where(surplus, costs, -values)
+    perm = np.argsort(secondary, axis=1, kind="stable")
+    perm = np.take_along_axis(
+        perm,
+        np.argsort(
+            np.take_along_axis(primary, perm, axis=1), axis=1, kind="stable"
+        ),
+        axis=1,
+    )
+    ordered_costs = np.take_along_axis(costs, perm, axis=1)
+    ordered_values = np.take_along_axis(values, perm, axis=1)
+    deficits = ordered_costs - ordered_values
+    # Exclusive prefix sum: subtracting back out of an inclusive cumsum
+    # would reorder the additions and drift by an ulp, so shift instead.
+    running = np.zeros_like(deficits)
+    running[:, 1:] = np.cumsum(deficits[:, :-1], axis=1)
+    return np.maximum(0.0, np.max(running + ordered_costs, axis=1))
+
+
+def max_prefix_demand_batch(bundles: Sequence[GoodsBundle]) -> np.ndarray:
+    """Batched :func:`max_prefix_demand` over many candidate bundles.
+
+    Bundles are grouped by item count and each group is priced in one
+    vectorized pass (:func:`_max_prefix_demand_kernel`); results are bit
+    for bit identical to calling :func:`max_prefix_demand` per bundle.
+    """
+    demands = np.zeros(len(bundles))
+    groups: dict = {}
+    for index, bundle in enumerate(bundles):
+        groups.setdefault(len(bundle), []).append(index)
+    for size, indices in groups.items():
+        if size == 0:
+            continue
+        costs = np.array(
+            [[good.supplier_cost for good in bundles[i]] for i in indices]
+        )
+        values = np.array(
+            [[good.consumer_value for good in bundles[i]] for i in indices]
+        )
+        demands[indices] = _max_prefix_demand_kernel(costs, values)
+    return demands
+
+
 def exchange_is_schedulable(
     bundle: GoodsBundle,
     price: float,
@@ -385,6 +450,53 @@ def exchange_is_schedulable(
     if prefix_demand is None:
         prefix_demand = max_prefix_demand(bundle)
     return approx_le(prefix_demand, supplier_allowance + consumer_allowance)
+
+
+def exchange_is_schedulable_batch(
+    bundles: Sequence[GoodsBundle],
+    prices: Sequence[float],
+    requirements: Sequence[ExchangeRequirements],
+    prefix_demands: "Optional[np.ndarray]" = None,
+) -> np.ndarray:
+    """Vectorized :func:`exchange_is_schedulable` over aligned candidates.
+
+    Evaluates the boundary conditions and the prefix-demand test for the
+    whole batch elementwise (float64 throughout, the same ``EPSILON``
+    comparisons), so the returned boolean mask agrees bit for bit with the
+    scalar rule — and therefore with ``plan_delivery_order(...) is not
+    None`` — on every candidate.  This is the candidate screen's hot path:
+    one call replaces a Python loop over candidates.
+    """
+    count = len(bundles)
+    if not (count == len(prices) == len(requirements)):
+        raise ValueError(
+            "bundles, prices and requirements must be aligned, got "
+            f"{count}/{len(prices)}/{len(requirements)}"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    price_arr = np.asarray(prices, dtype=np.float64)
+    supplier_allowances = np.empty(count)
+    consumer_allowances = np.empty(count)
+    for index, requirement in enumerate(requirements):
+        supplier_allowances[index], consumer_allowances[index] = (
+            _effective_allowances(requirement)
+        )
+    if prefix_demands is None:
+        prefix_demands = max_prefix_demand_batch(bundles)
+    else:
+        prefix_demands = np.asarray(prefix_demands, dtype=np.float64)
+    total_costs = np.array([bundle.total_supplier_cost for bundle in bundles])
+    total_values = np.array([bundle.total_consumer_value for bundle in bundles])
+    feasible = price_arr >= -EPSILON
+    feasible &= supplier_allowances >= -EPSILON
+    feasible &= consumer_allowances >= -EPSILON
+    feasible &= total_costs - price_arr <= supplier_allowances + EPSILON
+    feasible &= price_arr - total_values <= consumer_allowances + EPSILON
+    feasible &= prefix_demands <= (
+        supplier_allowances + consumer_allowances + EPSILON
+    )
+    return feasible
 
 
 def brute_force_delivery_order(

@@ -21,8 +21,7 @@ from repro.core.exchange import ExchangeSequence
 from repro.core.goods import GoodsBundle
 from repro.core.planner import (
     PaymentPolicy,
-    exchange_is_schedulable,
-    max_prefix_demand,
+    exchange_is_schedulable_batch,
 )
 from repro.core.safety import ExchangeRequirements
 from repro.core.trust_aware import PartnerModel, TrustAwareExchangePlanner
@@ -149,9 +148,10 @@ class TrustAwareStrategy(ExchangeStrategy):
         """Vectorized schedulability screen over a batch of candidates.
 
         Both parties' accepted exposures are computed for the whole batch in
-        one :meth:`DecisionMaker.assess_many` call each, then every candidate
-        is tested against the planner's exact feasibility rule
-        (:func:`~repro.core.planner.exchange_is_schedulable`).  Candidates
+        one :meth:`DecisionMaker.assess_many` call each, then the whole
+        batch is tested against the planner's exact feasibility rule in one
+        :func:`~repro.core.planner.exchange_is_schedulable_batch` call
+        (bundles sharing an item count are priced together).  Candidates
         failing the screen are exactly those for which :meth:`plan` would
         find no schedule, so skipping them changes no outcome — it only
         skips the O(n log n) scheduling and payment-chunking work.
@@ -191,21 +191,18 @@ class TrustAwareStrategy(ExchangeStrategy):
         consumer_exposures = consumer_maker.assess_many(
             consumer_trusts, consumer_gains
         )
-        mask = np.zeros(count, dtype=bool)
-        for index in range(count):
-            requirements = ExchangeRequirements(
-                supplier_defection_penalty=contexts[index].supplier_defection_penalty,
-                consumer_defection_penalty=contexts[index].consumer_defection_penalty,
-                consumer_accepted_exposure=float(consumer_exposures[index]),
-                supplier_accepted_exposure=float(supplier_exposures[index]),
+        requirements = [
+            ExchangeRequirements(
+                supplier_defection_penalty=context.supplier_defection_penalty,
+                consumer_defection_penalty=context.consumer_defection_penalty,
+                consumer_accepted_exposure=float(consumer_exposure),
+                supplier_accepted_exposure=float(supplier_exposure),
             )
-            mask[index] = exchange_is_schedulable(
-                bundles[index],
-                float(prices[index]),
-                requirements,
-                prefix_demand=max_prefix_demand(bundles[index]),
+            for context, supplier_exposure, consumer_exposure in zip(
+                contexts, supplier_exposures, consumer_exposures
             )
-        return mask
+        ]
+        return exchange_is_schedulable_batch(bundles, prices, requirements)
 
     def describe(self) -> str:
         return (

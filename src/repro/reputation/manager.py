@@ -106,6 +106,14 @@ class ReputationManager:
         ``"ring"``).  With a policy, backends are sharded even at
         ``shards=1`` so they can grow in place.  A shared complaint
         backend supplied from outside keeps whatever policy it has.
+    compact:
+        Use memory-bounded storage for every backend this manager creates:
+        chunked, compact-dtype evidence arrays (float32 evidence, int32
+        counts) that grow without ever copying the whole table.  Scores stay
+        within float32 accumulation tolerance of the default float64 layout
+        (complaint counts are exactly representable, so the complaint
+        method is unaffected).  A shared complaint backend supplied from
+        outside keeps whatever layout it has.
     """
 
     def __init__(
@@ -121,6 +129,7 @@ class ReputationManager:
         shards: int = 1,
         shard_router: str = "hash",
         rebalance: Optional["RebalancePolicy"] = None,
+        compact: bool = False,
     ):
         if not owner_id:
             raise ReputationError("owner_id must be non-empty")
@@ -130,6 +139,7 @@ class ReputationManager:
         self._shards = shards
         self._shard_router = shard_router
         self._rebalance = rebalance
+        self._compact = compact
         if decay is None:
             beta_backend: TrustBackend = create_backend(
                 "beta",
@@ -138,6 +148,7 @@ class ReputationManager:
                 shards=shards,
                 router=shard_router,
                 rebalance=rebalance,
+                compact=compact,
             )
         elif isinstance(decay, ExponentialDecay):
             beta_backend = create_backend(
@@ -148,6 +159,7 @@ class ReputationManager:
                 shards=shards,
                 router=shard_router,
                 rebalance=rebalance,
+                compact=compact,
             )
         else:
             beta_backend = ScalarBetaBackendAdapter(
@@ -202,6 +214,7 @@ class ReputationManager:
                 shards=shards if complaint_store is None else 1,
                 router=shard_router,
                 rebalance=rebalance if complaint_store is None else None,
+                compact=compact,
             )
         # The DECAY backend is materialised lazily on first use (most peers
         # never query it); recorded interactions are replayed into it then,
@@ -260,6 +273,7 @@ class ReputationManager:
                 shards=self._shards,
                 router=self._shard_router,
                 rebalance=self._rebalance,
+                compact=self._compact,
             )
             backend.update_many(
                 [self._observation_from(record) for record in self._interactions]

@@ -32,9 +32,11 @@ from repro.exceptions import ReputationError
 from repro.trust import (
     BetaBelief,
     BetaTrustModel,
+    SparseWitnessMatrix,
     WitnessReport,
     combine_beta_evidence_matrix,
     stack_witness_beliefs,
+    stack_witness_beliefs_sparse,
 )
 
 __all__ = [
@@ -110,11 +112,14 @@ class WitnessMatrix:
     ``(alpha, beta)`` about ``subject_ids[s]`` — the uniform prior ``(1, 1)``
     when the witness had nothing to report (zero evidence, contributes
     nothing).  ``discounts[w]`` is the requester's trust in the witness.
+    ``matrix`` is a dense ``(W, S, 2)`` array or, when collected with
+    ``sparse=True``, a :class:`~repro.trust.SparseWitnessMatrix` storing only
+    actual reports — every backend accepts either.
     """
 
     subject_ids: Sequence[str]
     witness_ids: Sequence[str]
-    matrix: np.ndarray
+    matrix: "np.ndarray | SparseWitnessMatrix"
     discounts: np.ndarray
 
     @property
@@ -163,6 +168,7 @@ def collect_witness_matrix(
     witness_trusts: Optional[Mapping[str, float]] = None,
     exclude: Optional[Iterable[str]] = None,
     rng: Optional[random.Random] = None,
+    sparse: bool = False,
 ) -> WitnessMatrix:
     """Ask every available witness about a whole batch of subjects at once.
 
@@ -172,6 +178,12 @@ def collect_witness_matrix(
     witness-belief matrix ready for ``aggregate_witness_reports``.  A witness
     never reports about itself, and subjects it has no observations about
     get the uniform prior (zero evidence).
+
+    ``sparse=True`` assembles a :class:`~repro.trust.SparseWitnessMatrix`
+    instead of the dense array — at community scale most (witness, subject)
+    pairs carry no report, so the dense matrix is mostly the neutral entry
+    and its memory grows as W x S while the sparse one grows with the
+    number of actual reports.
     """
     generator = rng if rng is not None else random.Random()
     excluded = set(exclude or ())
@@ -198,11 +210,24 @@ def collect_witness_matrix(
         witness_ids.append(witness_id)
         rows.append(row)
         discounts.append(trusts.get(witness_id, 1.0))
-    matrix = (
-        stack_witness_beliefs(rows)
-        if rows
-        else np.zeros((0, len(subject_ids), 2))
-    )
+    if sparse:
+        matrix: "np.ndarray | SparseWitnessMatrix" = (
+            stack_witness_beliefs_sparse(rows)
+            if rows
+            else SparseWitnessMatrix(
+                witness_count=0,
+                subject_count=len(subject_ids),
+                indptr=np.zeros(1, dtype=np.int64),
+                cols=np.zeros(0, dtype=np.int64),
+                data=np.zeros((0, 2)),
+            )
+        )
+    else:
+        matrix = (
+            stack_witness_beliefs(rows)
+            if rows
+            else np.zeros((0, len(subject_ids), 2))
+        )
     return WitnessMatrix(
         subject_ids=tuple(subject_ids),
         witness_ids=tuple(witness_ids),
@@ -253,6 +278,7 @@ def indirect_scores(
     exclude: Optional[Iterable[str]] = None,
     rng: Optional[random.Random] = None,
     now: Optional[float] = None,
+    sparse: bool = False,
 ) -> np.ndarray:
     """Witness-augmented trust scores for a whole query batch.
 
@@ -260,6 +286,7 @@ def indirect_scores(
     ``backend.aggregate_witness_reports`` — one vectorized aggregation call
     per batch instead of one scalar merge per (subject, witness) pair.
     ``backend`` is any beta-family :class:`~repro.trust.backend.TrustBackend`.
+    ``sparse=True`` collects the reports in sparse (CSR) form end to end.
     """
     collected = collect_witness_matrix(
         subject_ids,
@@ -267,6 +294,7 @@ def indirect_scores(
         witness_trusts=witness_trusts,
         exclude=exclude,
         rng=rng,
+        sparse=sparse,
     )
     return backend.aggregate_witness_reports(
         subject_ids, collected.matrix, collected.discounts, now=now

@@ -50,6 +50,7 @@ class CommunityPeer:
         shards: int = 1,
         shard_router: str = "hash",
         rebalance: Optional["RebalancePolicy"] = None,
+        compact: bool = False,
     ):
         if not peer_id:
             raise SimulationError("peer_id must be non-empty")
@@ -67,6 +68,7 @@ class CommunityPeer:
             shards=shards,
             shard_router=shard_router,
             rebalance=rebalance,
+            compact=compact,
         )
         self.defection_penalty = defection_penalty
         self.supplies_goods = supplies_goods

@@ -56,20 +56,40 @@ configured for; pass an explicit ``now`` where the distinction matters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.exceptions import TrustModelError
+from repro.trust import storage
 from repro.trust.aggregation import (
+    SparseWitnessMatrix,
     WitnessReport,
     combine_beta_evidence,
     combine_beta_evidence_matrix,
     validate_witness_matrix,
+    witness_report_sums,
 )
 from repro.trust.beta import BetaBelief, BetaTrustModel
 from repro.trust.complaint import ComplaintStore, LocalComplaintStore
 from repro.trust.evidence import Complaint, Observation
+from repro.trust.storage import (
+    gather,
+    gather_f64,
+    materialize,
+    scatter_add,
+    scatter_max,
+    scatter_set,
+)
 
 __all__ = [
     "TrustObservation",
@@ -161,6 +181,42 @@ class _PeerIndex:
             self._names.append(name)
         return index
 
+    def intern_many(self, names: Sequence[str]) -> np.ndarray:
+        """Row indices for ``names``, interning unseen ids (batch fast path).
+
+        The common steady-state batch repeats already-known subjects, so the
+        lookup is one C-level ``map`` over the id dict; only when that trips
+        over an unseen id are the *unique* new names interned (one dict
+        insert per distinct id, not per occurrence) before the single-pass
+        lookup is retried.  First-occurrence order is preserved, so the
+        index assignment is identical to interning one observation at a
+        time.
+        """
+        getitem = self._ids.__getitem__
+        count = len(names)
+        try:
+            return np.fromiter(map(getitem, names), dtype=np.int64, count=count)
+        except KeyError:
+            intern = self.intern
+            for name in dict.fromkeys(names):
+                intern(name)
+            return np.fromiter(map(getitem, names), dtype=np.int64, count=count)
+
+    def lookup_many(self, names: Sequence[str]) -> np.ndarray:
+        """Row indices for ``names`` with ``-1`` marking unknown ids."""
+        getitem = self._ids.__getitem__
+        count = len(names)
+        try:
+            # Fast path: every id known — one C-level pass, no generator.
+            return np.fromiter(map(getitem, names), dtype=np.int64, count=count)
+        except KeyError:
+            get = self._ids.get
+            return np.fromiter(
+                (-1 if (i := get(s)) is None else i for s in names),
+                dtype=np.int64,
+                count=count,
+            )
+
     def get(self, name: str) -> Optional[int]:
         return self._ids.get(name)
 
@@ -179,16 +235,36 @@ class _PeerIndex:
         return index
 
 
-def _grow(array: np.ndarray, size: int) -> np.ndarray:
-    """Return ``array`` grown (amortised doubling) to hold ``size`` entries."""
-    if size <= len(array):
-        return array
-    capacity = max(8, len(array))
-    while capacity < size:
-        capacity *= 2
-    grown = np.zeros(capacity, dtype=array.dtype)
-    grown[: len(array)] = array
-    return grown
+def _scores_via_cache(
+    cache: storage.EvidenceArray,
+    generations: storage.EvidenceArray,
+    generation: int,
+    rows: np.ndarray,
+    prior_score: float,
+    compute: Callable[[np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Answer a score query from a dirty-row cache, recomputing stale rows.
+
+    ``generations[row] == generation`` marks a cache hit; anything else
+    (zero for never-scored or freshly invalidated rows, an older generation
+    after a decay backend's ``now`` changed) is recomputed through
+    ``compute`` — which applies exactly the uncached per-row formula, so the
+    cached answer is bit-identical to the uncached one.  Unknown subjects
+    (``row == -1``) score the prior without touching the cache.
+    """
+    out = np.full(len(rows), prior_score)
+    known = rows >= 0
+    if not known.any():
+        return out
+    known_rows = rows[known]
+    hits = gather(generations, known_rows)
+    stale_mask = hits != generation
+    if stale_mask.any():
+        stale = np.unique(known_rows[stale_mask])
+        scatter_set(cache, stale, compute(stale))
+        scatter_set(generations, stale, generation)
+    out[known] = gather(cache, known_rows)
+    return out
 
 
 class TrustBackend:
@@ -297,6 +373,30 @@ class TrustBackend:
         """Replace the backend's state with a :meth:`snapshot` payload."""
         raise NotImplementedError
 
+    def snapshot_items(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Stream the snapshot one ``(key, array)`` entry at a time.
+
+        The streaming face of :meth:`snapshot`: entries are materialised
+        lazily, so a consumer that serialises (or forwards) each entry and
+        drops it holds at most one evidence column in memory — the
+        checkpoint path for tables too large to copy wholesale.  Entry
+        values are freshly materialised copies; consume the iterator before
+        the next write batch.  ``dict(backend.snapshot_items())`` equals
+        :meth:`snapshot`.
+        """
+        yield from self.snapshot().items()
+
+    def restore_items(
+        self, items: Iterable[Tuple[str, np.ndarray]]
+    ) -> None:
+        """Restore from a stream of :meth:`snapshot_items` entries.
+
+        The base implementation materialises the stream; layered backends
+        (the sharded wrapper) override it to restore partition by
+        partition without ever holding the full manifest.
+        """
+        self.restore(dict(items))
+
     def _check_snapshot_backend(self, state: Dict[str, np.ndarray]) -> None:
         recorded = state.get("backend")
         if recorded is None or str(np.asarray(recorded).item()) != self.name:
@@ -318,39 +418,67 @@ class BetaTrustBackend(TrustBackend):
     :class:`~repro.trust.beta.BetaTrustModel` without a decay model, but
     updates and queries are O(batch) numpy operations instead of per-peer
     list appends and rescans.
+
+    ``compact=True`` switches the evidence columns to the memory-bounded
+    layout (float32 pseudo-counts, int32 observation counts, chunked growth
+    that never copies the table; see :mod:`repro.trust.storage`).  Scores
+    then carry float32 evidence rounding — documented tolerance 1e-6
+    relative — while the default layout stays bit-for-bit the historical
+    float64 path.  ``cache_scores=True`` (the default) answers repeated
+    queries from a per-row score cache invalidated by ``update_many``
+    (dirty-row invalidation); cached scores are bit-identical to uncached
+    ones.
     """
 
     name = "beta"
 
-    def __init__(self, prior_alpha: float = 1.0, prior_beta: float = 1.0):
+    def __init__(
+        self,
+        prior_alpha: float = 1.0,
+        prior_beta: float = 1.0,
+        compact: bool = False,
+        cache_scores: bool = True,
+    ):
         if prior_alpha <= 0 or prior_beta <= 0:
             raise TrustModelError("priors must be positive")
         self._prior_alpha = prior_alpha
         self._prior_beta = prior_beta
+        self._compact = bool(compact)
+        self._cache_scores = bool(cache_scores)
+        self._evidence_dtype = np.float32 if compact else np.float64
+        self._count_dtype = np.int32 if compact else np.int64
         self._index = _PeerIndex()
-        self._alpha = np.zeros(0)
-        self._beta = np.zeros(0)
-        self._count = np.zeros(0, dtype=np.int64)
+        self._alpha = storage.make_array(self._evidence_dtype, compact)
+        self._beta = storage.make_array(self._evidence_dtype, compact)
+        self._count = storage.make_array(self._count_dtype, compact)
+        self._reset_cache()
+
+    def _reset_cache(self) -> None:
+        self._score_cache = storage.make_array(np.float64, self._compact)
+        self._cache_gen = storage.make_array(np.int64, self._compact)
+        self._generation = 1
+        self._prior_score = self._prior_alpha / (self._prior_alpha + self._prior_beta)
 
     @property
     def prior(self) -> BetaBelief:
         return BetaBelief(self._prior_alpha, self._prior_beta)
 
+    @property
+    def compact(self) -> bool:
+        return self._compact
+
     def _ensure_capacity(self) -> None:
         size = len(self._index)
-        self._alpha = _grow(self._alpha, size)
-        self._beta = _grow(self._beta, size)
-        self._count = _grow(self._count, size)
+        self._alpha = storage.grow(self._alpha, size)
+        self._beta = storage.grow(self._beta, size)
+        self._count = storage.grow(self._count, size)
+        self._score_cache = storage.grow(self._score_cache, size)
+        self._cache_gen = storage.grow(self._cache_gen, size)
 
     def update_many(self, observations: Sequence[TrustObservation]) -> None:
         if not observations:
             return
-        intern = self._index.intern
-        idx = np.fromiter(
-            (intern(o.subject_id) for o in observations),
-            dtype=np.int64,
-            count=len(observations),
-        )
+        idx = self._index.intern_many([o.subject_id for o in observations])
         self._ensure_capacity()
         weights = np.fromiter(
             (o.weight for o in observations), dtype=np.float64, count=len(observations)
@@ -358,30 +486,42 @@ class BetaTrustBackend(TrustBackend):
         honest = np.fromiter(
             (o.honest for o in observations), dtype=bool, count=len(observations)
         )
-        np.add.at(self._alpha, idx[honest], weights[honest])
-        np.add.at(self._beta, idx[~honest], weights[~honest])
-        np.add.at(self._count, idx, 1)
+        scatter_add(self._alpha, idx[honest], weights[honest])
+        scatter_add(self._beta, idx[~honest], weights[~honest])
+        scatter_add(self._count, idx, 1)
+        scatter_set(self._cache_gen, np.unique(idx), 0)
 
     def beliefs_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior ``(alpha, beta)`` vectors aligned with ``subject_ids``."""
-        get = self._index.get
-        rows = np.fromiter(
-            (-1 if (i := get(s)) is None else i for s in subject_ids),
-            dtype=np.int64,
-            count=len(subject_ids),
-        )
+        rows = self._index.lookup_many(subject_ids)
         alpha = np.full(len(rows), self._prior_alpha)
         beta = np.full(len(rows), self._prior_beta)
         known = rows >= 0
-        alpha[known] += self._alpha[rows[known]]
-        beta[known] += self._beta[rows[known]]
+        alpha[known] += gather_f64(self._alpha, rows[known])
+        beta[known] += gather_f64(self._beta, rows[known])
         return alpha, beta
+
+    def _row_scores(self, rows: np.ndarray, now: Optional[float]) -> np.ndarray:
+        """Uncached per-row score formula (the dirty-row recompute kernel)."""
+        alpha = self._prior_alpha + gather_f64(self._alpha, rows)
+        beta = self._prior_beta + gather_f64(self._beta, rows)
+        return alpha / (alpha + beta)
 
     def scores_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> np.ndarray:
+        if self._cache_scores:
+            rows = self._index.lookup_many(subject_ids)
+            return _scores_via_cache(
+                self._score_cache,
+                self._cache_gen,
+                self._generation,
+                rows,
+                self._prior_score,
+                lambda stale: self._row_scores(stale, now),
+            )
         alpha, beta = self.beliefs_for(subject_ids, now=now)
         return alpha / (alpha + beta)
 
@@ -404,8 +544,8 @@ class BetaTrustBackend(TrustBackend):
         if row is None:
             return self.prior
         return BetaBelief(
-            self._prior_alpha + float(self._alpha[row]),
-            self._prior_beta + float(self._beta[row]),
+            self._prior_alpha + float(storage.get_item(self._alpha, row)),
+            self._prior_beta + float(storage.get_item(self._beta, row)),
         )
 
     def trust(self, subject_id: str, now: Optional[float] = None) -> float:
@@ -414,7 +554,7 @@ class BetaTrustBackend(TrustBackend):
 
     def observation_count(self, subject_id: str) -> int:
         row = self._index.get(subject_id)
-        return 0 if row is None else int(self._count[row])
+        return 0 if row is None else int(storage.get_item(self._count, row))
 
     def known_subjects(self) -> Tuple[str, ...]:
         return self._index.names()
@@ -422,24 +562,42 @@ class BetaTrustBackend(TrustBackend):
     def row_count(self) -> int:
         return len(self._index)
 
-    def snapshot(self) -> Dict[str, np.ndarray]:
+    def snapshot_items(self) -> Iterator[Tuple[str, np.ndarray]]:
+        # Evidence columns are emitted in the canonical float64/int64
+        # snapshot dtypes regardless of storage layout, so compact and
+        # default backends (and any shard mix of the two) share one
+        # restorable, re-shardable format.
         size = len(self._index)
-        return {
-            "backend": np.array(self.name),
-            "peer_ids": np.array(self._index.names(), dtype=object),
-            "prior": np.array([self._prior_alpha, self._prior_beta]),
-            "alpha": self._alpha[:size].copy(),
-            "beta": self._beta[:size].copy(),
-            "count": self._count[:size].copy(),
-        }
+        yield "backend", np.array(self.name)
+        yield "peer_ids", np.array(self._index.names(), dtype=object)
+        yield "prior", np.array([self._prior_alpha, self._prior_beta])
+        yield "alpha", materialize(self._alpha, size, np.float64)
+        yield "beta", materialize(self._beta, size, np.float64)
+        yield "count", materialize(self._count, size, np.int64)
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        return dict(self.snapshot_items())
 
     def restore(self, state: Dict[str, np.ndarray]) -> None:
         self._check_snapshot_backend(state)
         self._prior_alpha, self._prior_beta = (float(p) for p in state["prior"])
         self._index = _PeerIndex.from_names(state["peer_ids"])
-        self._alpha = np.asarray(state["alpha"], dtype=np.float64).copy()
-        self._beta = np.asarray(state["beta"], dtype=np.float64).copy()
-        self._count = np.asarray(state["count"], dtype=np.int64).copy()
+        self._alpha = storage.storage_from(
+            np.asarray(state["alpha"], dtype=np.float64),
+            self._evidence_dtype,
+            self._compact,
+        )
+        self._beta = storage.storage_from(
+            np.asarray(state["beta"], dtype=np.float64),
+            self._evidence_dtype,
+            self._compact,
+        )
+        self._count = storage.storage_from(
+            np.asarray(state["count"], dtype=np.int64),
+            self._count_dtype,
+            self._compact,
+        )
+        self._reset_cache()
         self._ensure_capacity()
 
 
@@ -455,6 +613,14 @@ class DecayTrustBackend(TrustBackend):
     Equivalent to ``BetaTrustModel(decay=ExponentialDecay(half_life))``
     queried at any ``now >= ref``; scoring with ``now=None`` evaluates at the
     reference time (the newest evidence).
+
+    ``compact=True`` selects the memory-bounded layout (float32 evidence
+    sums, int32 counts, chunked growth); the reference-time column stays
+    float64 so long simulations never lose timestamp precision.
+    ``cache_scores=True`` adds the dirty-row score cache; because decayed
+    scores depend on the query time, the cache is additionally keyed by
+    ``now`` — a query at a new ``now`` lazily recomputes only the rows it
+    actually touches.
     """
 
     name = "decay"
@@ -464,6 +630,8 @@ class DecayTrustBackend(TrustBackend):
         prior_alpha: float = 1.0,
         prior_beta: float = 1.0,
         half_life: float = 100.0,
+        compact: bool = False,
+        cache_scores: bool = True,
     ):
         if prior_alpha <= 0 or prior_beta <= 0:
             raise TrustModelError("priors must be positive")
@@ -472,31 +640,46 @@ class DecayTrustBackend(TrustBackend):
         self._prior_alpha = prior_alpha
         self._prior_beta = prior_beta
         self._half_life = half_life
+        self._compact = bool(compact)
+        self._cache_scores = bool(cache_scores)
+        self._evidence_dtype = np.float32 if compact else np.float64
+        self._count_dtype = np.int32 if compact else np.int64
         self._index = _PeerIndex()
-        self._alpha = np.zeros(0)
-        self._beta = np.zeros(0)
-        self._ref = np.zeros(0)
-        self._count = np.zeros(0, dtype=np.int64)
+        self._alpha = storage.make_array(self._evidence_dtype, compact)
+        self._beta = storage.make_array(self._evidence_dtype, compact)
+        self._ref = storage.make_array(np.float64, compact)
+        self._count = storage.make_array(self._count_dtype, compact)
+        self._reset_cache()
+
+    def _reset_cache(self) -> None:
+        self._score_cache = storage.make_array(np.float64, self._compact)
+        self._cache_gen = storage.make_array(np.int64, self._compact)
+        self._generation = 1
+        self._cache_now: Optional[float] = None
+        self._prior_score = self._prior_alpha / (self._prior_alpha + self._prior_beta)
 
     @property
     def half_life(self) -> float:
         return self._half_life
 
+    @property
+    def compact(self) -> bool:
+        return self._compact
+
     def _ensure_capacity(self) -> None:
         size = len(self._index)
-        self._alpha = _grow(self._alpha, size)
-        self._beta = _grow(self._beta, size)
-        self._ref = _grow(self._ref, size)
-        self._count = _grow(self._count, size)
+        self._alpha = storage.grow(self._alpha, size)
+        self._beta = storage.grow(self._beta, size)
+        self._ref = storage.grow(self._ref, size)
+        self._count = storage.grow(self._count, size)
+        self._score_cache = storage.grow(self._score_cache, size)
+        self._cache_gen = storage.grow(self._cache_gen, size)
 
     def update_many(self, observations: Sequence[TrustObservation]) -> None:
         if not observations:
             return
-        intern = self._index.intern
         n = len(observations)
-        idx = np.fromiter(
-            (intern(o.subject_id) for o in observations), dtype=np.int64, count=n
-        )
+        idx = self._index.intern_many([o.subject_id for o in observations])
         self._ensure_capacity()
         weights = np.fromiter((o.weight for o in observations), dtype=np.float64, count=n)
         times = np.fromiter(
@@ -510,46 +693,65 @@ class DecayTrustBackend(TrustBackend):
         # reference.  The result is order-independent, so the whole batch
         # vectorizes.
         touched = np.unique(idx)
-        old_ref = self._ref[touched].copy()
-        np.maximum.at(self._ref, idx, times)
-        factor = np.power(0.5, (self._ref[touched] - old_ref) / self._half_life)
-        self._alpha[touched] *= factor
-        self._beta[touched] *= factor
+        old_ref = gather(self._ref, touched)
+        scatter_max(self._ref, idx, times)
+        factor = np.power(0.5, (gather(self._ref, touched) - old_ref) / self._half_life)
+        storage.multiply_at(self._alpha, touched, factor)
+        storage.multiply_at(self._beta, touched, factor)
         contribution = weights * np.power(
-            0.5, (self._ref[idx] - times) / self._half_life
+            0.5, (gather(self._ref, idx) - times) / self._half_life
         )
-        np.add.at(self._alpha, idx[honest], contribution[honest])
-        np.add.at(self._beta, idx[~honest], contribution[~honest])
-        np.add.at(self._count, idx, 1)
+        scatter_add(self._alpha, idx[honest], contribution[honest])
+        scatter_add(self._beta, idx[~honest], contribution[~honest])
+        scatter_add(self._count, idx, 1)
+        scatter_set(self._cache_gen, touched, 0)
 
     def _decay_to(self, rows: np.ndarray, now: Optional[float]) -> np.ndarray:
         if now is None:
             return np.ones(len(rows))
-        age = np.maximum(0.0, now - self._ref[rows])
+        age = np.maximum(0.0, now - gather(self._ref, rows))
         return np.power(0.5, age / self._half_life)
 
     def beliefs_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Decayed posterior ``(alpha, beta)`` vectors for ``subject_ids``."""
-        get = self._index.get
-        rows = np.fromiter(
-            (-1 if (i := get(s)) is None else i for s in subject_ids),
-            dtype=np.int64,
-            count=len(subject_ids),
-        )
+        rows = self._index.lookup_many(subject_ids)
         alpha = np.full(len(rows), self._prior_alpha)
         beta = np.full(len(rows), self._prior_beta)
         known = rows >= 0
         if known.any():
             factor = self._decay_to(rows[known], now)
-            alpha[known] += self._alpha[rows[known]] * factor
-            beta[known] += self._beta[rows[known]] * factor
+            alpha[known] += gather_f64(self._alpha, rows[known]) * factor
+            beta[known] += gather_f64(self._beta, rows[known]) * factor
         return alpha, beta
+
+    def _row_scores(self, rows: np.ndarray, now: Optional[float]) -> np.ndarray:
+        """Uncached per-row score formula (the dirty-row recompute kernel)."""
+        factor = self._decay_to(rows, now)
+        alpha = self._prior_alpha + gather_f64(self._alpha, rows) * factor
+        beta = self._prior_beta + gather_f64(self._beta, rows) * factor
+        return alpha / (alpha + beta)
 
     def scores_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> np.ndarray:
+        if self._cache_scores:
+            # Decayed scores are a function of (row evidence, now): a new
+            # query time invalidates every cached entry at once by bumping
+            # the generation; rows are then recomputed lazily as queried.
+            if now != self._cache_now:
+                self._cache_now = now
+                self._generation += 1
+            rows = self._index.lookup_many(subject_ids)
+            return _scores_via_cache(
+                self._score_cache,
+                self._cache_gen,
+                self._generation,
+                rows,
+                self._prior_score,
+                lambda stale: self._row_scores(stale, now),
+            )
         alpha, beta = self.beliefs_for(subject_ids, now=now)
         return alpha / (alpha + beta)
 
@@ -574,8 +776,8 @@ class DecayTrustBackend(TrustBackend):
             return BetaBelief(self._prior_alpha, self._prior_beta)
         factor = float(self._decay_to(np.array([row]), now)[0])
         return BetaBelief(
-            self._prior_alpha + float(self._alpha[row]) * factor,
-            self._prior_beta + float(self._beta[row]) * factor,
+            self._prior_alpha + float(storage.get_item(self._alpha, row)) * factor,
+            self._prior_beta + float(storage.get_item(self._beta, row)) * factor,
         )
 
     def trust(self, subject_id: str, now: Optional[float] = None) -> float:
@@ -583,7 +785,7 @@ class DecayTrustBackend(TrustBackend):
 
     def observation_count(self, subject_id: str) -> int:
         row = self._index.get(subject_id)
-        return 0 if row is None else int(self._count[row])
+        return 0 if row is None else int(storage.get_item(self._count, row))
 
     def known_subjects(self) -> Tuple[str, ...]:
         return self._index.names()
@@ -591,28 +793,46 @@ class DecayTrustBackend(TrustBackend):
     def row_count(self) -> int:
         return len(self._index)
 
-    def snapshot(self) -> Dict[str, np.ndarray]:
+    def snapshot_items(self) -> Iterator[Tuple[str, np.ndarray]]:
+        # Canonical float64/int64 snapshot dtypes regardless of layout; see
+        # BetaTrustBackend.snapshot_items.
         size = len(self._index)
-        return {
-            "backend": np.array(self.name),
-            "peer_ids": np.array(self._index.names(), dtype=object),
-            "prior": np.array([self._prior_alpha, self._prior_beta]),
-            "half_life": np.array([self._half_life]),
-            "alpha": self._alpha[:size].copy(),
-            "beta": self._beta[:size].copy(),
-            "ref": self._ref[:size].copy(),
-            "count": self._count[:size].copy(),
-        }
+        yield "backend", np.array(self.name)
+        yield "peer_ids", np.array(self._index.names(), dtype=object)
+        yield "prior", np.array([self._prior_alpha, self._prior_beta])
+        yield "half_life", np.array([self._half_life])
+        yield "alpha", materialize(self._alpha, size, np.float64)
+        yield "beta", materialize(self._beta, size, np.float64)
+        yield "ref", materialize(self._ref, size, np.float64)
+        yield "count", materialize(self._count, size, np.int64)
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        return dict(self.snapshot_items())
 
     def restore(self, state: Dict[str, np.ndarray]) -> None:
         self._check_snapshot_backend(state)
         self._prior_alpha, self._prior_beta = (float(p) for p in state["prior"])
         self._half_life = float(state["half_life"][0])
         self._index = _PeerIndex.from_names(state["peer_ids"])
-        self._alpha = np.asarray(state["alpha"], dtype=np.float64).copy()
-        self._beta = np.asarray(state["beta"], dtype=np.float64).copy()
-        self._ref = np.asarray(state["ref"], dtype=np.float64).copy()
-        self._count = np.asarray(state["count"], dtype=np.int64).copy()
+        self._alpha = storage.storage_from(
+            np.asarray(state["alpha"], dtype=np.float64),
+            self._evidence_dtype,
+            self._compact,
+        )
+        self._beta = storage.storage_from(
+            np.asarray(state["beta"], dtype=np.float64),
+            self._evidence_dtype,
+            self._compact,
+        )
+        self._ref = storage.storage_from(
+            np.asarray(state["ref"], dtype=np.float64), np.float64, self._compact
+        )
+        self._count = storage.storage_from(
+            np.asarray(state["count"], dtype=np.int64),
+            self._count_dtype,
+            self._compact,
+        )
+        self._reset_cache()
         self._ensure_capacity()
 
 
@@ -645,6 +865,8 @@ class ComplaintTrustBackend(TrustBackend):
         tolerance_factor: float = 4.0,
         trust_scale: float = 3.0,
         metric_mode: str = "product",
+        compact: bool = False,
+        cache_scores: bool = True,
     ):
         if tolerance_factor <= 0:
             raise TrustModelError(
@@ -662,9 +884,16 @@ class ComplaintTrustBackend(TrustBackend):
         self._metric_mode = metric_mode
         self._row_filter: Optional[Callable[[str], bool]] = None
         self._index = _PeerIndex()
-        self._received = np.zeros(0)
-        self._filed = np.zeros(0)
-        self._in_store = np.zeros(0, dtype=bool)
+        # Complaint counts are small integers, exactly representable in
+        # float32 up to 2**24, so the compact layout loses no precision here.
+        self._compact = bool(compact)
+        self._cache_scores = bool(cache_scores)
+        self._count_dtype = np.float32 if compact else np.float64
+        self._received = storage.make_array(self._count_dtype, compact)
+        self._filed = storage.make_array(self._count_dtype, compact)
+        self._in_store = storage.make_array(np.bool_, compact)
+        self._cached_reference = 0.0
+        self._reference_valid = False
         self._sized = hasattr(self._store, "__len__")
         self._synced_len = 0 if self._sized else None
         if self._sized and len(self._store) > 0:  # type: ignore[arg-type]
@@ -678,6 +907,10 @@ class ComplaintTrustBackend(TrustBackend):
     @property
     def metric_mode(self) -> str:
         return self._metric_mode
+
+    @property
+    def compact(self) -> bool:
+        return self._compact
 
     def restrict_rows(self, row_filter: Callable[[str], bool]) -> None:
         """Maintain complaint counters only for agents passing ``row_filter``.
@@ -746,35 +979,27 @@ class ComplaintTrustBackend(TrustBackend):
         self._sync()
         for complaint in complaints:
             self._store.file_complaint(complaint)
-        intern = self._index.intern
         row_filter = self._row_filter
         accused_ids = [c.accused_id for c in complaints]
         filed_ids = [c.complainant_id for c in complaints]
         if row_filter is not None:
             accused_ids = [agent for agent in accused_ids if row_filter(agent)]
             filed_ids = [agent for agent in filed_ids if row_filter(agent)]
-        accused = np.fromiter(
-            (intern(agent) for agent in accused_ids),
-            dtype=np.int64,
-            count=len(accused_ids),
-        )
-        filed_by = np.fromiter(
-            (intern(agent) for agent in filed_ids),
-            dtype=np.int64,
-            count=len(filed_ids),
-        )
+        accused = self._index.intern_many(accused_ids)
+        filed_by = self._index.intern_many(filed_ids)
         self._ensure_capacity()
-        np.add.at(self._received, accused, 1.0)
-        np.add.at(self._filed, filed_by, 1.0)
-        self._in_store[accused] = True
-        self._in_store[filed_by] = True
+        scatter_add(self._received, accused, 1.0)
+        scatter_add(self._filed, filed_by, 1.0)
+        scatter_set(self._in_store, accused, True)
+        scatter_set(self._in_store, filed_by, True)
         self._synced_len += len(complaints)
+        self._reference_valid = False
 
     def _ensure_capacity(self) -> None:
         size = len(self._index)
-        self._received = _grow(self._received, size)
-        self._filed = _grow(self._filed, size)
-        self._in_store = _grow(self._in_store, size)
+        self._received = storage.grow(self._received, size)
+        self._filed = storage.grow(self._filed, size)
+        self._in_store = storage.grow(self._in_store, size)
 
     # -- cache consistency ------------------------------------------------
     def _sync(self) -> None:
@@ -794,9 +1019,9 @@ class ComplaintTrustBackend(TrustBackend):
         for agent_id in agents:
             self._index.intern(agent_id)
         self._ensure_capacity()
-        self._received[:] = 0.0
-        self._filed[:] = 0.0
-        self._in_store[:] = False
+        storage.fill(self._received, 0.0)
+        storage.fill(self._filed, 0.0)
+        storage.fill(self._in_store, False)
         complaints: Optional[Iterable[Complaint]] = None
         if hasattr(self._store, "all_complaints"):
             complaints = self._store.all_complaints()  # type: ignore[attr-defined]
@@ -807,18 +1032,25 @@ class ComplaintTrustBackend(TrustBackend):
                 if row_filter is None or row_filter(complaint.accused_id):
                     accused = intern(complaint.accused_id)
                     self._ensure_capacity()
-                    self._received[accused] += 1.0
+                    storage.add_item(self._received, accused, 1.0)
                 if row_filter is None or row_filter(complaint.complainant_id):
                     complainant = intern(complaint.complainant_id)
                     self._ensure_capacity()
-                    self._filed[complainant] += 1.0
+                    storage.add_item(self._filed, complainant, 1.0)
         else:
             for agent_id in agents:
                 row = self._index.intern(agent_id)
-                self._received[row] = float(len(self._store.complaints_about(agent_id)))
-                self._filed[row] = float(len(self._store.complaints_by(agent_id)))
+                storage.set_item(
+                    self._received,
+                    row,
+                    float(len(self._store.complaints_about(agent_id))),
+                )
+                storage.set_item(
+                    self._filed, row, float(len(self._store.complaints_by(agent_id)))
+                )
         for agent_id in agents:
-            self._in_store[self._index.intern(agent_id)] = True
+            storage.set_item(self._in_store, self._index.intern(agent_id), True)
+        self._reference_valid = False
 
     # -- assessment -------------------------------------------------------
     def _metric_of(self, received: np.ndarray, filed: np.ndarray) -> np.ndarray:
@@ -831,16 +1063,14 @@ class ComplaintTrustBackend(TrustBackend):
 
     def _metrics(self) -> np.ndarray:
         size = len(self._index)
-        return self._metric_of(self._received[:size], self._filed[:size])
+        return self._metric_of(
+            storage.prefix_view(self._received, size).astype(np.float64, copy=False),
+            storage.prefix_view(self._filed, size).astype(np.float64, copy=False),
+        )
 
     def _rows_for(self, subject_ids: Sequence[str]) -> np.ndarray:
         """Array rows for ``subject_ids`` (-1 marks unknown subjects)."""
-        get = self._index.get
-        return np.fromiter(
-            (-1 if (i := get(s)) is None else i for s in subject_ids),
-            dtype=np.int64,
-            count=len(subject_ids),
-        )
+        return self._index.lookup_many(subject_ids)
 
     def _scores_from_metrics(self, metrics: np.ndarray) -> np.ndarray:
         """Map decision metrics to [0, 1] trust against the community reference."""
@@ -867,19 +1097,31 @@ class ComplaintTrustBackend(TrustBackend):
         return metrics <= self._tolerance_factor
 
     def metrics_for(self, subject_ids: Sequence[str]) -> np.ndarray:
-        """Per-subject decision metrics (0 for unknown subjects)."""
+        """Per-subject decision metrics (0 for unknown subjects).
+
+        Computed row-locally: only the queried rows are gathered and pushed
+        through the metric, so a query against a million-row table costs
+        O(query), not O(table).  The metric is elementwise, so this equals
+        the historical compute-all-then-gather result bit for bit.
+        """
         self._sync()
-        metrics = self._metrics()
         rows = self._rows_for(subject_ids)
         subject_metrics = np.zeros(len(rows))
         known = rows >= 0
-        subject_metrics[known] = metrics[rows[known]]
+        if known.any():
+            known_rows = rows[known]
+            subject_metrics[known] = self._metric_of(
+                gather_f64(self._received, known_rows),
+                gather_f64(self._filed, known_rows),
+            )
         return subject_metrics
 
     def metric_values_in_store(self) -> np.ndarray:
         """Metric values of every in-store agent (the median's input)."""
         self._sync()
-        return self._metrics()[self._in_store[: len(self._index)]]
+        return self._metrics()[
+            storage.prefix_view(self._in_store, len(self._index))
+        ]
 
     def reference_metric(self) -> float:
         """The community's median complaint metric (0 when no data)."""
@@ -887,10 +1129,18 @@ class ComplaintTrustBackend(TrustBackend):
         return self._reference()
 
     def _reference(self) -> float:
-        metrics = self._metrics()[self._in_store[: len(self._index)]]
-        if metrics.size == 0:
-            return 0.0
-        return float(np.median(metrics))
+        # The median is the one whole-table pass on the query path; it only
+        # changes when evidence does, so it is cached until the next write
+        # (or store rebuild) invalidates it.
+        if self._cache_scores and self._reference_valid:
+            return self._cached_reference
+        metrics = self._metrics()[
+            storage.prefix_view(self._in_store, len(self._index))
+        ]
+        reference = 0.0 if metrics.size == 0 else float(np.median(metrics))
+        self._cached_reference = reference
+        self._reference_valid = True
+        return reference
 
     def counts(self, agent_id: str) -> Tuple[int, int]:
         """``(received, filed)`` complaint counts for one agent."""
@@ -898,7 +1148,10 @@ class ComplaintTrustBackend(TrustBackend):
         row = self._index.get(agent_id)
         if row is None:
             return (0, 0)
-        return (int(self._received[row]), int(self._filed[row]))
+        return (
+            int(storage.get_item(self._received, row)),
+            int(storage.get_item(self._filed, row)),
+        )
 
     def scores_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
@@ -920,10 +1173,10 @@ class ComplaintTrustBackend(TrustBackend):
         received = np.zeros(len(rows))
         filed = np.zeros(len(rows))
         known = rows >= 0
-        received[known] = self._received[rows[known]]
-        filed[known] = self._filed[rows[known]]
+        received[known] = gather_f64(self._received, rows[known])
+        filed[known] = gather_f64(self._filed, rows[known])
         if matrix.shape[0] > 0:
-            reported = np.einsum("w,wsk->sk", discounts, matrix)
+            reported = witness_report_sums(matrix, discounts)
             received = received + reported[:, 0]
             filed = filed + reported[:, 1]
         return self._metric_of(received, filed)
@@ -981,13 +1234,19 @@ class ComplaintTrustBackend(TrustBackend):
         # set; answering from it avoids the store's O(complaints x agents)
         # rescan on the fast path.
         size = len(self._index)
-        in_store = self._in_store[:size]
+        in_store = storage.prefix_view(self._in_store, size)
         names = self._index.names()
         return tuple(names[row] for row in range(size) if in_store[row])
 
     def row_count(self) -> int:
         self._sync()
-        return int(np.count_nonzero(self._in_store[: len(self._index)]))
+        size = len(self._index)
+        if isinstance(self._in_store, storage.ChunkedArray):
+            return sum(
+                int(np.count_nonzero(chunk))
+                for _, chunk in self._in_store.iter_prefix(size)
+            )
+        return int(np.count_nonzero(self._in_store[:size]))
 
     def all_complaints(self) -> Tuple[Complaint, ...]:
         """Every complaint in the underlying store (requires enumeration)."""
@@ -1007,28 +1266,29 @@ class ComplaintTrustBackend(TrustBackend):
         do, so distributed complaint state checkpoints through the same
         path.
         """
+        return dict(self.snapshot_items())
+
+    def snapshot_items(self) -> Iterator[Tuple[str, np.ndarray]]:
         if not hasattr(self._store, "all_complaints"):
             raise TrustModelError(
                 "complaint store does not expose all_complaints(); "
                 "snapshot it through its own persistence instead"
             )
         self._sync()
-        complaints = self.all_complaints()
         size = len(self._index)
-        return {
-            "backend": np.array(self.name),
-            "peer_ids": np.array(self._index.names(), dtype=object),
-            "config": np.array([self._tolerance_factor, self._trust_scale]),
-            "metric_mode": np.array(self._metric_mode),
-            "received": self._received[:size].copy(),
-            "filed": self._filed[:size].copy(),
-            "in_store": self._in_store[:size].copy(),
-            "complainants": np.array(
-                [c.complainant_id for c in complaints], dtype=object
-            ),
-            "accused": np.array([c.accused_id for c in complaints], dtype=object),
-            "timestamps": np.array([c.timestamp for c in complaints]),
-        }
+        yield "backend", np.array(self.name)
+        yield "peer_ids", np.array(self._index.names(), dtype=object)
+        yield "config", np.array([self._tolerance_factor, self._trust_scale])
+        yield "metric_mode", np.array(self._metric_mode)
+        yield "received", materialize(self._received, size, np.float64)
+        yield "filed", materialize(self._filed, size, np.float64)
+        yield "in_store", materialize(self._in_store, size, np.bool_)
+        complaints = self.all_complaints()
+        yield "complainants", np.array(
+            [c.complainant_id for c in complaints], dtype=object
+        )
+        yield "accused", np.array([c.accused_id for c in complaints], dtype=object)
+        yield "timestamps", np.array([c.timestamp for c in complaints])
 
     def restore(self, state: Dict[str, np.ndarray]) -> None:
         """Restore counters and refill a private local complaint store.
@@ -1043,9 +1303,20 @@ class ComplaintTrustBackend(TrustBackend):
         )
         self._metric_mode = str(np.asarray(state["metric_mode"]).item())
         self._index = _PeerIndex.from_names(state["peer_ids"])
-        self._received = np.asarray(state["received"], dtype=np.float64).copy()
-        self._filed = np.asarray(state["filed"], dtype=np.float64).copy()
-        self._in_store = np.asarray(state["in_store"], dtype=bool).copy()
+        self._received = storage.storage_from(
+            np.asarray(state["received"], dtype=np.float64),
+            self._count_dtype,
+            self._compact,
+        )
+        self._filed = storage.storage_from(
+            np.asarray(state["filed"], dtype=np.float64),
+            self._count_dtype,
+            self._compact,
+        )
+        self._in_store = storage.storage_from(
+            np.asarray(state["in_store"], dtype=bool), np.bool_, self._compact
+        )
+        self._reference_valid = False
         store = LocalComplaintStore()
         for complainant, accused, timestamp in zip(
             state["complainants"], state["accused"], state["timestamps"]
@@ -1115,6 +1386,8 @@ class ScalarBetaBackendAdapter(TrustBackend):
         matrix, discounts = validate_witness_matrix(
             len(subject_ids), witness_belief_matrix, discount_vector
         )
+        if isinstance(matrix, SparseWitnessMatrix):
+            matrix = matrix.to_dense()
         scores = np.zeros(len(subject_ids))
         for column, subject_id in enumerate(subject_ids):
             reports = [
@@ -1182,6 +1455,12 @@ def create_backend(name: str, **params: object) -> TrustBackend:
     enabling live shard splits under load — with a policy the backend is
     sharded even at ``shards=1``, so a single-shard deployment can grow in
     place as its population does.
+
+    All remaining keyword parameters are forwarded to the backend factory
+    (and, when sharded, to every shard).  The built-in backends accept
+    ``compact=True`` for the memory-bounded evidence layout (narrow dtypes +
+    chunked growth; see :mod:`repro.trust.storage`) and ``cache_scores``
+    (default ``True``) for the dirty-row score cache.
     """
     shards = int(params.pop("shards", 1))  # type: ignore[arg-type]
     router = params.pop("router", "hash")

@@ -82,16 +82,20 @@ Semantics
 
 from __future__ import annotations
 
+import itertools
 import time
 import zlib
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import TrustModelError
-from repro.trust.aggregation import validate_witness_matrix
+from repro.trust.aggregation import (
+    SparseWitnessMatrix,
+    validate_witness_matrix,
+)
 from repro.trust.backend import (
     ComplaintTrustBackend,
     TrustBackend,
@@ -464,6 +468,15 @@ class RebalanceEvent:
     rows_moved: int
     num_shards_after: int
     seconds: float
+
+
+def _matrix_columns(
+    matrix: "np.ndarray | SparseWitnessMatrix", positions: np.ndarray
+):
+    """Column-select a witness matrix in either representation."""
+    if isinstance(matrix, SparseWitnessMatrix):
+        return matrix.select_columns(positions)
+    return matrix[:, positions, :]
 
 
 #: Per-subject row keys of the row-partitioned backends, used to re-shard a
@@ -956,10 +969,18 @@ class ShardedBackend(TrustBackend):
         tolerance_factor, trust_scale = (
             float(value) for value in shard_state["config"]
         )
+        # Layout/caching knobs are deployment configuration, not snapshot
+        # state: successors inherit them from this wrapper's shard params.
+        extras = {
+            key: self._shard_params[key]
+            for key in ("compact", "cache_scores")
+            if key in self._shard_params
+        }
         shard = ComplaintTrustBackend(
             tolerance_factor=tolerance_factor,
             trust_scale=trust_scale,
             metric_mode=str(np.asarray(shard_state["metric_mode"]).item()),
+            **extras,
         )
         self._restrict_one(shard, home_index)
         return shard
@@ -1073,7 +1094,7 @@ class ShardedBackend(TrustBackend):
             for index, positions, subjects in self._partition(subject_ids):
                 shard = self._shards[index]
                 metrics = shard.witness_metrics_for(  # type: ignore[attr-defined]
-                    subjects, matrix[:, positions, :], discounts
+                    subjects, _matrix_columns(matrix, positions), discounts
                 )
                 out[positions] = shard.scores_from_metrics(  # type: ignore[attr-defined]
                     metrics, reference
@@ -1083,7 +1104,7 @@ class ShardedBackend(TrustBackend):
         # every witness's reports about its own subjects only.
         for index, positions, subjects in self._partition(subject_ids):
             out[positions] = self._shards[index].aggregate_witness_reports(
-                subjects, matrix[:, positions, :], discounts, now=now
+                subjects, _matrix_columns(matrix, positions), discounts, now=now
             )
         return out
 
@@ -1190,6 +1211,32 @@ class ShardedBackend(TrustBackend):
     # ------------------------------------------------------------------
     # Persistence: per-shard manifest, re-shardable
     # ------------------------------------------------------------------
+    def snapshot_items(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """Stream the per-shard manifest one entry at a time.
+
+        Manifest metadata (router name *and boundary state*, inner kind,
+        shard count) streams first, then every shard's own
+        ``snapshot_items`` under its ``shard-NNNN/`` key prefix, then the
+        prefix manifest.  Shard columns are materialised one at a time, so
+        checkpointing a million-row sharded table holds at most one
+        evidence column in memory beyond the consumer's own buffering —
+        :meth:`snapshot` is simply ``dict`` of this stream.
+        """
+        yield "backend", np.array(self.name)
+        yield "kind", np.array(self._kind)
+        yield "router", np.array(self._router.name)
+        yield "num_shards", np.array([len(self._shards)])
+        router_state = self._router.state()
+        if router_state is not None:
+            yield "router_state", router_state
+        prefixes: List[str] = []
+        for index, shard in enumerate(self._shards):
+            prefix = f"shard-{index:04d}"
+            prefixes.append(prefix)
+            for key, value in shard.snapshot_items():
+                yield f"{prefix}/{key}", value
+        yield "manifest", np.array(prefixes, dtype=object)
+
     def snapshot(self) -> Dict[str, np.ndarray]:
         """Serialise every shard independently under a ``shard-NNNN/`` prefix.
 
@@ -1200,23 +1247,86 @@ class ShardedBackend(TrustBackend):
         no longer equal-width, and re-filing a snapshot's complaint logs
         needs the exact key table they were written under.
         """
-        state: Dict[str, np.ndarray] = {
-            "backend": np.array(self.name),
-            "kind": np.array(self._kind),
-            "router": np.array(self._router.name),
-            "num_shards": np.array([len(self._shards)]),
-        }
-        router_state = self._router.state()
-        if router_state is not None:
-            state["router_state"] = router_state
-        prefixes: List[str] = []
-        for index, shard in enumerate(self._shards):
-            prefix = f"shard-{index:04d}"
-            prefixes.append(prefix)
-            for key, value in shard.snapshot().items():
-                state[f"{prefix}/{key}"] = value
-        state["manifest"] = np.array(prefixes, dtype=object)
-        return state
+        return dict(self.snapshot_items())
+
+    def restore_items(
+        self, items: Iterable[Tuple[str, np.ndarray]]
+    ) -> None:
+        """Restore from a :meth:`snapshot_items` stream, shard by shard.
+
+        When the stream's recorded router layout matches the live one, each
+        shard is restored as soon as its ``shard-NNNN/`` group completes —
+        the full manifest is never materialised.  A layout mismatch needs
+        the whole snapshot to redistribute rows, so the stream is drained
+        into :meth:`restore`.
+        """
+        iterator = iter(items)
+        meta: Dict[str, np.ndarray] = {}
+        first_shard: Optional[Tuple[str, np.ndarray]] = None
+        for key, value in iterator:
+            if key.startswith("shard-") and "/" in key:
+                first_shard = (key, value)
+                break
+            meta[key] = value
+        self._check_snapshot_backend(meta)
+        kind = str(np.asarray(meta["kind"]).item())
+        if kind != self._kind:
+            raise TrustModelError(
+                f"snapshot holds {kind!r} shards, cannot restore into "
+                f"{self._kind!r} shards"
+            )
+        old_router = create_router(
+            str(np.asarray(meta["router"]).item()),
+            int(meta["num_shards"][0]),
+            state=meta.get("router_state"),
+        )
+        entries = (
+            itertools.chain([first_shard], iterator)
+            if first_shard is not None
+            else iterator
+        )
+        if not old_router.same_layout(self._router):
+            # Re-sharding needs every row before anything is placed; drain
+            # the stream and take the materialised path.
+            state = dict(meta)
+            state.update(entries)
+            self.restore(state)
+            return
+        self._route_cache.clear()
+        self._writes += 1
+        restored = 0
+        current_prefix: Optional[str] = None
+        shard_state: Dict[str, np.ndarray] = {}
+
+        def flush() -> None:
+            nonlocal restored, shard_state
+            if current_prefix is None:
+                return
+            index = int(current_prefix[len("shard-"):])
+            if not 0 <= index < len(self._shards):
+                raise TrustModelError(
+                    f"snapshot prefix {current_prefix!r} out of range for "
+                    f"{len(self._shards)} shards"
+                )
+            self._shards[index].restore(shard_state)
+            restored += 1
+            shard_state = {}
+
+        for key, value in entries:
+            if not (key.startswith("shard-") and "/" in key):
+                continue  # trailing manifest entry
+            prefix, _, inner = key.partition("/")
+            if prefix != current_prefix:
+                flush()
+                current_prefix = prefix
+            shard_state[inner] = value
+        flush()
+        if restored != len(self._shards):
+            raise TrustModelError(
+                f"snapshot stream restored {restored} shards, "
+                f"backend has {len(self._shards)}"
+            )
+        self._shard_updates = [0] * len(self._shards)
 
     def restore(self, state: Dict[str, np.ndarray]) -> None:
         self._check_snapshot_backend(state)

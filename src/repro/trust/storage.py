@@ -1,0 +1,318 @@
+"""Evidence-array storage for the trust backends: flat and chunked layouts.
+
+The vectorized backends keep per-subject evidence in dense arrays indexed by
+an interned peer table.  Two layouts are supported behind one small helper
+vocabulary:
+
+* **flat** — one contiguous ``numpy`` array per column, grown by amortised
+  doubling (the original layout).  Every helper degrades to the exact numpy
+  operation the backends used before this module existed, so flat-mode
+  results are bit-for-bit unchanged.
+* **chunked** — a :class:`ChunkedArray`: a list of fixed-size chunks, grown
+  by *appending* zeroed chunks.  Growing never copies existing rows, so a
+  million-row table expands in O(new chunk) instead of O(table) — and peak
+  memory never holds the 2x copy the doubling layout needs mid-growth.
+  Backends select it with ``compact=True``, usually together with narrower
+  dtypes (float32 evidence, int32 counts).
+
+The helpers (:func:`gather`, :func:`scatter_add`, …) dispatch on the array
+type so backend code reads identically for both layouts.  Chunked operations
+group indices by chunk with one stable sort and then run the same numpy
+kernels per chunk; duplicate-index semantics (``np.add.at`` accumulation,
+last-write-wins assignment) are preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "CHUNK_SIZE",
+    "ChunkedArray",
+    "EvidenceArray",
+    "make_array",
+    "storage_from",
+    "grow",
+    "gather",
+    "gather_f64",
+    "scatter_add",
+    "scatter_max",
+    "scatter_set",
+    "multiply_at",
+    "fill",
+    "get_item",
+    "set_item",
+    "add_item",
+    "materialize",
+    "prefix_view",
+    "prefix_chunks",
+]
+
+#: Default chunk length (entries, not bytes).  64Ki rows keeps per-chunk
+#: kernels comfortably inside cache while a million-row table needs only
+#: ~16 chunk allocations in total.
+CHUNK_SIZE = 1 << 16
+
+
+class ChunkedArray:
+    """A 1-D array stored as equally sized chunks; growth appends, never copies.
+
+    Only the operations the trust backends need are implemented; the helper
+    functions below present them under the same names used for flat arrays.
+    The logical length is the current *capacity* (all allocated entries,
+    zero-initialised), mirroring how the flat layout over-allocates — the
+    owning backend tracks how many rows are live via its peer index.
+    """
+
+    __slots__ = ("_chunks", "_dtype", "_chunk_size", "_shift", "_mask")
+
+    def __init__(self, dtype: np.dtype, chunk_size: int = CHUNK_SIZE):
+        if chunk_size < 1 or chunk_size & (chunk_size - 1):
+            raise ValueError(f"chunk_size must be a power of two, got {chunk_size}")
+        self._chunks: List[np.ndarray] = []
+        self._dtype = np.dtype(dtype)
+        self._chunk_size = chunk_size
+        self._shift = chunk_size.bit_length() - 1
+        self._mask = chunk_size - 1
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    def __len__(self) -> int:
+        return len(self._chunks) * self._chunk_size
+
+    def nbytes(self) -> int:
+        return sum(chunk.nbytes for chunk in self._chunks)
+
+    def ensure(self, size: int) -> None:
+        """Grow capacity to at least ``size`` by appending zeroed chunks."""
+        while len(self._chunks) * self._chunk_size < size:
+            self._chunks.append(np.zeros(self._chunk_size, dtype=self._dtype))
+
+    # -- grouped index operations ---------------------------------------
+    def _split(self, idx: np.ndarray):
+        """Yield ``(chunk, within-chunk positions, selector)`` groups.
+
+        The selector is the boolean mask into ``idx`` for that chunk, so
+        callers can align a value array with each group.  Single-chunk
+        batches (the common case once a table stops growing) skip the
+        grouping entirely.
+        """
+        chunk_of = idx >> self._shift
+        within = idx & self._mask
+        first = int(chunk_of[0])
+        if int(chunk_of.max()) == first and int(chunk_of.min()) == first:
+            yield self._chunks[first], within, slice(None)
+            return
+        for chunk_index in np.unique(chunk_of):
+            mask = chunk_of == chunk_index
+            yield self._chunks[chunk_index], within[mask], mask
+
+    def gather(self, idx: np.ndarray) -> np.ndarray:
+        out = np.empty(len(idx), dtype=self._dtype)
+        if len(idx) == 0:
+            return out
+        for chunk, within, mask in self._split(idx):
+            out[mask] = chunk[within]
+        return out
+
+    def scatter_add(self, idx: np.ndarray, values) -> None:
+        if len(idx) == 0:
+            return
+        scalar = np.ndim(values) == 0
+        for chunk, within, mask in self._split(idx):
+            np.add.at(chunk, within, values if scalar else values[mask])
+
+    def scatter_max(self, idx: np.ndarray, values) -> None:
+        if len(idx) == 0:
+            return
+        scalar = np.ndim(values) == 0
+        for chunk, within, mask in self._split(idx):
+            np.maximum.at(chunk, within, values if scalar else values[mask])
+
+    def scatter_set(self, idx: np.ndarray, values) -> None:
+        if len(idx) == 0:
+            return
+        scalar = np.ndim(values) == 0
+        for chunk, within, mask in self._split(idx):
+            chunk[within] = values if scalar else values[mask]
+
+    def multiply_at(self, idx: np.ndarray, factors) -> None:
+        """In-place multiply at (unique) indices."""
+        if len(idx) == 0:
+            return
+        scalar = np.ndim(factors) == 0
+        for chunk, within, mask in self._split(idx):
+            chunk[within] *= factors if scalar else factors[mask]
+
+    # -- whole-array operations ------------------------------------------
+    def fill(self, value) -> None:
+        for chunk in self._chunks:
+            chunk[:] = value
+
+    def materialize(self, size: int, dtype: Optional[np.dtype] = None) -> np.ndarray:
+        """Contiguous copy of the first ``size`` entries, optionally cast."""
+        out = np.empty(size, dtype=self._dtype if dtype is None else dtype)
+        for start, chunk in self.iter_prefix(size):
+            out[start : start + len(chunk)] = chunk
+        return out
+
+    def iter_prefix(self, size: int) -> Iterator:
+        """Yield ``(start, chunk-view)`` pairs covering the first ``size`` rows.
+
+        The views are zero-copy; consume them before mutating the array.
+        """
+        for index, chunk in enumerate(self._chunks):
+            start = index * self._chunk_size
+            if start >= size:
+                return
+            yield start, chunk[: min(self._chunk_size, size - start)]
+
+    def assign_prefix(self, values: np.ndarray) -> None:
+        """Overwrite the first ``len(values)`` entries (capacity must exist)."""
+        for start, chunk in self.iter_prefix(len(values)):
+            chunk[:] = values[start : start + len(chunk)]
+
+
+EvidenceArray = Union[np.ndarray, ChunkedArray]
+
+
+def make_array(dtype: np.dtype, chunked: bool, chunk_size: int = CHUNK_SIZE) -> EvidenceArray:
+    """An empty evidence column in the requested layout."""
+    if chunked:
+        return ChunkedArray(dtype, chunk_size=chunk_size)
+    return np.zeros(0, dtype=dtype)
+
+
+def storage_from(
+    values: np.ndarray, dtype: np.dtype, chunked: bool
+) -> EvidenceArray:
+    """An evidence column initialised from a snapshot array (cast to ``dtype``)."""
+    values = np.asarray(values)
+    array = make_array(dtype, chunked)
+    array = grow(array, len(values))
+    if isinstance(array, ChunkedArray):
+        array.assign_prefix(values.astype(dtype, copy=False))
+    else:
+        array[: len(values)] = values
+    return array
+
+
+def grow(array: EvidenceArray, size: int) -> EvidenceArray:
+    """Capacity of at least ``size``: amortised doubling (flat) or append (chunked)."""
+    if isinstance(array, ChunkedArray):
+        array.ensure(size)
+        return array
+    if size <= len(array):
+        return array
+    capacity = max(8, len(array))
+    while capacity < size:
+        capacity *= 2
+    grown = np.zeros(capacity, dtype=array.dtype)
+    grown[: len(array)] = array
+    return grown
+
+
+def gather(array: EvidenceArray, idx: np.ndarray) -> np.ndarray:
+    if isinstance(array, ChunkedArray):
+        return array.gather(idx)
+    return array[idx]
+
+
+def gather_f64(array: EvidenceArray, idx: np.ndarray) -> np.ndarray:
+    """Gather upcast to float64 (no copy when the storage already is)."""
+    out = gather(array, idx)
+    if out.dtype == np.float64:
+        return out
+    return out.astype(np.float64)
+
+
+def scatter_add(array: EvidenceArray, idx: np.ndarray, values) -> None:
+    if isinstance(array, ChunkedArray):
+        array.scatter_add(idx, values)
+    else:
+        np.add.at(array, idx, values)
+
+
+def scatter_max(array: EvidenceArray, idx: np.ndarray, values) -> None:
+    if isinstance(array, ChunkedArray):
+        array.scatter_max(idx, values)
+    else:
+        np.maximum.at(array, idx, values)
+
+
+def scatter_set(array: EvidenceArray, idx: np.ndarray, values) -> None:
+    if isinstance(array, ChunkedArray):
+        array.scatter_set(idx, values)
+    else:
+        array[idx] = values
+
+
+def multiply_at(array: EvidenceArray, idx: np.ndarray, factors) -> None:
+    """In-place multiply at indices (callers pass unique indices)."""
+    if isinstance(array, ChunkedArray):
+        array.multiply_at(idx, factors)
+    else:
+        array[idx] *= factors
+
+
+def fill(array: EvidenceArray, value) -> None:
+    if isinstance(array, ChunkedArray):
+        array.fill(value)
+    else:
+        array[:] = value
+
+
+def get_item(array: EvidenceArray, index: int):
+    if isinstance(array, ChunkedArray):
+        return array.gather(np.array([index], dtype=np.int64))[0]
+    return array[index]
+
+
+def set_item(array: EvidenceArray, index: int, value) -> None:
+    if isinstance(array, ChunkedArray):
+        array.scatter_set(np.array([index], dtype=np.int64), value)
+    else:
+        array[index] = value
+
+
+def add_item(array: EvidenceArray, index: int, value) -> None:
+    if isinstance(array, ChunkedArray):
+        array.scatter_add(np.array([index], dtype=np.int64), value)
+    else:
+        array[index] += value
+
+
+def materialize(
+    array: EvidenceArray, size: int, dtype: Optional[np.dtype] = None
+) -> np.ndarray:
+    """Contiguous *copy* of the first ``size`` entries, optionally cast."""
+    if isinstance(array, ChunkedArray):
+        return array.materialize(size, dtype)
+    return np.array(array[:size], dtype=array.dtype if dtype is None else dtype)
+
+
+def prefix_view(array: EvidenceArray, size: int) -> np.ndarray:
+    """The first ``size`` entries — a zero-copy view for flat arrays.
+
+    Chunked arrays have no contiguous view and materialise a copy; prefer
+    :func:`gather` over this on hot per-query paths.
+    """
+    if isinstance(array, ChunkedArray):
+        return array.materialize(size)
+    return array[:size]
+
+
+def prefix_chunks(array: EvidenceArray, size: int) -> Iterator:
+    """``(start, chunk-view)`` pairs over the first ``size`` entries, zero-copy."""
+    if isinstance(array, ChunkedArray):
+        yield from array.iter_prefix(size)
+    elif size > 0:
+        yield 0, array[:size]

@@ -115,6 +115,7 @@ def build_population(
     shards: int = 1,
     shard_router: str = "hash",
     rebalance: Optional[RebalancePolicy] = None,
+    compact: bool = False,
 ) -> List[CommunityPeer]:
     """Build the peers described by ``spec``.
 
@@ -123,7 +124,9 @@ def build_population(
     system; otherwise each peer keeps a private store (direct evidence only).
     ``trust_method`` selects the trust backend every peer consults (one of
     :data:`repro.reputation.manager.TrustMethod.ALL`); ``shards`` partitions
-    every peer's trust backends by peer-id range (1 = unsharded).
+    every peer's trust backends by peer-id range (1 = unsharded);
+    ``compact`` switches every peer's backends to memory-bounded chunked
+    float32/int32 storage (large-community mode).
     """
     rng = random.Random(seed)
     peers: List[CommunityPeer] = []
@@ -139,6 +142,7 @@ def build_population(
                 shards=shards,
                 shard_router=shard_router,
                 rebalance=rebalance,
+                compact=compact,
             )
         )
     return peers
@@ -152,6 +156,7 @@ def population_factory(
     shards: int = 1,
     shard_router: str = "hash",
     rebalance: Optional[RebalancePolicy] = None,
+    compact: bool = False,
 ) -> Callable[[int], CommunityPeer]:
     """A factory for churn arrivals drawing behaviours from the same spec."""
     rng = random.Random(seed + 1)
@@ -168,6 +173,7 @@ def population_factory(
             shards=shards,
             shard_router=shard_router,
             rebalance=rebalance,
+            compact=compact,
         )
 
     return factory

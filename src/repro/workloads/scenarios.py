@@ -105,6 +105,7 @@ def build_scenario(
     rebalance: str = "off",
     rebalance_threshold: float = 2.0,
     max_shards: int = 16,
+    compact: bool = False,
 ) -> ScenarioSpec:
     """Construct one of the named scenarios.
 
@@ -152,7 +153,12 @@ def build_scenario(
     request is upgraded to ``ring`` (consistent hashing — same hash-style
     assignment, but a split moves only the hot shard's keys).  Splits are
     score-invisible: results stay bit-identical to an unsharded run
-    before, during and after every split.
+    before, during and after every split.  ``compact=True`` switches every
+    trust backend in the scenario (each peer's own and the shared complaint
+    store) to memory-bounded storage — chunked float32/int32 evidence
+    arrays that grow without copying — trading bit-identity for a
+    documented float32 tolerance on beta-family scores (complaint counters
+    remain exact); decisions on the registered scenarios are unchanged.
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
@@ -194,6 +200,7 @@ def build_scenario(
         shards=shards,
         router=shard_router,
         rebalance=rebalance_policy,
+        compact=compact,
     )
     churn: Optional[ChurnModel] = None
     factory: Optional[Callable[[int], CommunityPeer]] = None
@@ -286,6 +293,7 @@ def build_scenario(
             shards=shards,
             shard_router=shard_router,
             rebalance=rebalance_policy,
+            compact=compact,
         )
     elif name == "collusive-witness":
         spec = PopulationSpec(
@@ -372,6 +380,7 @@ def build_scenario(
             shards=shards,
             shard_router=shard_router,
             rebalance=rebalance_policy,
+            compact=compact,
         )
     elif name == "partition-heal":
         # Two cliques (even/odd peer index) lose every cross-partition
@@ -506,6 +515,7 @@ def build_scenario(
         shards=shards,
         shard_router=shard_router,
         rebalance=rebalance_policy,
+        compact=compact,
     )
     if name == "sybil-coalition":
         coalition_peers = [

@@ -11,10 +11,14 @@ screening is bit-identical to one without.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import numpy as np
+
 from repro.core.goods import Good, GoodsBundle
 from repro.core.planner import (
     exchange_is_schedulable,
+    exchange_is_schedulable_batch,
     max_prefix_demand,
+    max_prefix_demand_batch,
     plan_delivery_order,
 )
 from repro.core.safety import ExchangeRequirements
@@ -68,6 +72,44 @@ def test_prefix_demand_is_allowance_independent(instance):
     assert exchange_is_schedulable(
         bundle, price, requirements, prefix_demand=max_prefix_demand(bundle)
     ) == exchange_is_schedulable(bundle, price, requirements)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(screening_instances(), min_size=0, max_size=12))
+def test_batched_rule_is_bit_identical_to_scalar(instances):
+    """The batched screen agrees with the scalar rule on every candidate.
+
+    Mixed bundle sizes exercise the shape grouping; ties in the valuation
+    draws exercise the stable-sort tie-breaking of the vectorized kernel.
+    """
+    bundles = [bundle for bundle, _, _ in instances]
+    prices = [price for _, price, _ in instances]
+    requirements = [reqs for _, _, reqs in instances]
+    demands = max_prefix_demand_batch(bundles)
+    assert np.array_equal(
+        demands, np.array([max_prefix_demand(bundle) for bundle in bundles])
+    )
+    mask = exchange_is_schedulable_batch(bundles, prices, requirements)
+    assert mask.dtype == np.bool_
+    for index, (bundle, price, reqs) in enumerate(instances):
+        assert bool(mask[index]) == exchange_is_schedulable(bundle, price, reqs)
+    # Precomputed demands must not change the verdicts.
+    assert np.array_equal(
+        mask,
+        exchange_is_schedulable_batch(
+            bundles, prices, requirements, prefix_demands=demands
+        ),
+    )
+
+
+def test_batched_rule_rejects_misaligned_inputs():
+    bundle = GoodsBundle([Good(good_id="a", supplier_cost=1.0, consumer_value=2.0)])
+    try:
+        exchange_is_schedulable_batch([bundle], [1.0, 2.0], [ExchangeRequirements()])
+    except ValueError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("misaligned batch must raise")
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,245 @@
+"""Sparse witness-belief matrices agree with the dense path everywhere.
+
+At community scale most (witness, subject) pairs carry no report, so the
+dense ``(W, S, 2)`` matrix is mostly the neutral entry.  The CSR-style
+:class:`SparseWitnessMatrix` stores only actual reports; every consumer —
+``witness_report_sums``, ``combine_beta_evidence_matrix``, the backends'
+``aggregate_witness_reports``, and the end-to-end ``indirect_scores`` — must
+produce the same numbers (to floating-point summation order) from either
+representation of the same report set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrustModelError
+from repro.reputation.reporting import indirect_scores, collect_witness_matrix, WitnessPool
+from repro.trust.aggregation import (
+    SparseWitnessMatrix,
+    stack_witness_beliefs,
+    stack_witness_beliefs_sparse,
+    witness_report_sums,
+)
+from repro.trust.backend import BetaTrustBackend, TrustObservation
+from repro.trust.beta import BetaBelief, BetaTrustModel
+
+#: Sparse accumulation (``np.add.at``) may sum in a different order than the
+#: dense ``einsum``; agreement is to summation-order tolerance, not bitwise.
+AGG_TOLERANCE = 1e-9
+
+SUBJECT_COUNT = 4
+
+# A witness row: per-subject optional (alpha, beta) belief; None = no report.
+belief_rows = st.lists(
+    st.one_of(
+        st.none(),
+        st.tuples(
+            st.floats(min_value=1.0, max_value=40.0, allow_nan=False),
+            st.floats(min_value=1.0, max_value=40.0, allow_nan=False),
+        ),
+    ),
+    min_size=SUBJECT_COUNT,
+    max_size=SUBJECT_COUNT,
+)
+witness_sets = st.lists(
+    st.tuples(belief_rows, st.floats(min_value=0.0, max_value=1.0)),
+    min_size=0,
+    max_size=8,
+)
+
+
+def _to_beliefs(rows):
+    return [
+        [None if cell is None else BetaBelief(alpha=cell[0], beta=cell[1]) for cell in row]
+        for row in rows
+    ]
+
+
+class TestSparseDenseEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(witnesses=witness_sets)
+    def test_stacked_representations_round_trip(self, witnesses):
+        beliefs = _to_beliefs([row for row, _ in witnesses])
+        dense = stack_witness_beliefs(beliefs)
+        sparse = stack_witness_beliefs_sparse(beliefs)
+        if beliefs:
+            assert np.array_equal(sparse.to_dense(), dense)
+            rebuilt = SparseWitnessMatrix.from_dense(dense)
+            assert np.array_equal(rebuilt.to_dense(), dense)
+
+    @settings(max_examples=60, deadline=None)
+    @given(witnesses=witness_sets)
+    def test_evidence_sums_agree(self, witnesses):
+        """Beta-family rule: the (1, 1) prior carries zero evidence, so the
+        sparse form (which drops neutral entries) must sum identically."""
+        beliefs = _to_beliefs([row for row, _ in witnesses])
+        if not beliefs:
+            return
+        discounts = np.array([discount for _, discount in witnesses])
+        dense_sums = witness_report_sums(
+            stack_witness_beliefs(beliefs), discounts, evidence=True
+        )
+        sparse_sums = witness_report_sums(
+            stack_witness_beliefs_sparse(beliefs), discounts, evidence=True
+        )
+        assert dense_sums.shape == sparse_sums.shape
+        assert float(np.max(np.abs(dense_sums - sparse_sums), initial=0.0)) <= AGG_TOLERANCE
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000),
+        witness_count=st.integers(min_value=1, max_value=8),
+    )
+    def test_raw_count_sums_agree(self, seed, witness_count):
+        """Complaint-count rule: neutral is (0, 0), dropped entries are zero
+        counts, so raw sums (``evidence=False``) agree too."""
+        rng = np.random.default_rng(seed)
+        dense = np.zeros((witness_count, SUBJECT_COUNT, 2))
+        mask = rng.random((witness_count, SUBJECT_COUNT)) < 0.5
+        dense[mask] = rng.integers(0, 20, (int(mask.sum()), 2)).astype(np.float64)
+        discounts = rng.random(witness_count)
+        sparse = SparseWitnessMatrix.from_dense(dense, neutral=(0.0, 0.0))
+        dense_sums = witness_report_sums(dense, discounts, evidence=False)
+        sparse_sums = witness_report_sums(sparse, discounts, evidence=False)
+        assert float(np.max(np.abs(dense_sums - sparse_sums), initial=0.0)) <= AGG_TOLERANCE
+
+    @settings(max_examples=40, deadline=None)
+    @given(witnesses=witness_sets)
+    def test_backend_aggregation_accepts_sparse(self, witnesses):
+        subjects = tuple(f"s{i}" for i in range(SUBJECT_COUNT))
+        backend = BetaTrustBackend()
+        backend.update_many(
+            [
+                TrustObservation("o", subject, honest=index % 2 == 0, weight=2.0)
+                for index, subject in enumerate(subjects)
+            ]
+        )
+        beliefs = _to_beliefs([row for row, _ in witnesses])
+        discounts = np.array([discount for _, discount in witnesses])
+        dense = (
+            stack_witness_beliefs(beliefs)
+            if beliefs
+            else np.zeros((0, SUBJECT_COUNT, 2))
+        )
+        sparse = (
+            stack_witness_beliefs_sparse(beliefs)
+            if beliefs
+            else SparseWitnessMatrix(
+                witness_count=0,
+                subject_count=SUBJECT_COUNT,
+                indptr=np.zeros(1, dtype=np.int64),
+                cols=np.zeros(0, dtype=np.int64),
+                data=np.zeros((0, 2)),
+            )
+        )
+        dense_scores = backend.aggregate_witness_reports(subjects, dense, discounts)
+        sparse_scores = backend.aggregate_witness_reports(subjects, sparse, discounts)
+        assert (
+            float(np.max(np.abs(dense_scores - sparse_scores), initial=0.0))
+            <= AGG_TOLERANCE
+        )
+
+    def test_select_columns_matches_dense_slice(self):
+        rng = np.random.default_rng(11)
+        dense = np.ones((5, 7, 2))
+        mask = rng.random((5, 7)) < 0.4
+        dense[mask] = 1.0 + rng.random((int(mask.sum()), 2)) * 10.0
+        sparse = SparseWitnessMatrix.from_dense(dense)
+        positions = np.array([5, 1, 3], dtype=np.int64)
+        assert np.array_equal(
+            sparse.select_columns(positions).to_dense(), dense[:, positions, :]
+        )
+
+
+class TestSparseValidation:
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(TrustModelError):
+            SparseWitnessMatrix(
+                witness_count=2,
+                subject_count=3,
+                indptr=np.array([0, 2], dtype=np.int64),
+                cols=np.array([0, 1], dtype=np.int64),
+                data=np.ones((2, 2)),
+            )
+
+    def test_rejects_out_of_range_columns(self):
+        with pytest.raises(TrustModelError):
+            SparseWitnessMatrix(
+                witness_count=1,
+                subject_count=2,
+                indptr=np.array([0, 1], dtype=np.int64),
+                cols=np.array([5], dtype=np.int64),
+                data=np.ones((1, 2)),
+            )
+
+    def test_rejects_bad_data_shape(self):
+        with pytest.raises(TrustModelError):
+            SparseWitnessMatrix(
+                witness_count=1,
+                subject_count=2,
+                indptr=np.array([0, 1], dtype=np.int64),
+                cols=np.array([0], dtype=np.int64),
+                data=np.ones(3),
+            )
+
+
+class TestEndToEndSparseCollection:
+    def _pool(self):
+        models = {}
+        for witness in range(6):
+            model = BetaTrustModel()
+            # Each witness only knows about a couple of subjects — the
+            # sparsity the CSR layout exists for.
+            for subject in (witness % 4, (witness + 1) % 4):
+                for _ in range(witness + 1):
+                    model.record_outcome(f"s{subject}", honest=subject % 2 == 0)
+            models[f"w{witness}"] = model
+        return WitnessPool(models=models)
+
+    def test_collect_witness_matrix_sparse_matches_dense(self):
+        subjects = tuple(f"s{i}" for i in range(4))
+        pool = self._pool()
+        trusts = {f"w{i}": 0.1 * (i + 1) for i in range(6)}
+        dense = collect_witness_matrix(
+            subjects, pool, witness_trusts=trusts, rng=random.Random(5)
+        )
+        sparse = collect_witness_matrix(
+            subjects, pool, witness_trusts=trusts, rng=random.Random(5), sparse=True
+        )
+        assert isinstance(sparse.matrix, SparseWitnessMatrix)
+        assert dense.witness_ids == sparse.witness_ids
+        assert np.array_equal(sparse.matrix.to_dense(), np.asarray(dense.matrix))
+        assert np.array_equal(sparse.discounts, dense.discounts)
+
+    def test_indirect_scores_sparse_matches_dense(self):
+        subjects = tuple(f"s{i}" for i in range(4))
+        pool = self._pool()
+        trusts = {f"w{i}": 0.1 * (i + 1) for i in range(6)}
+        backend = BetaTrustBackend()
+        backend.update_many(
+            [
+                TrustObservation("me", subject, honest=True, weight=1.5)
+                for subject in subjects[:2]
+            ]
+        )
+        dense_scores = indirect_scores(
+            subjects, backend, pool, witness_trusts=trusts, rng=random.Random(9)
+        )
+        sparse_scores = indirect_scores(
+            subjects,
+            backend,
+            pool,
+            witness_trusts=trusts,
+            rng=random.Random(9),
+            sparse=True,
+        )
+        assert (
+            float(np.max(np.abs(dense_scores - sparse_scores), initial=0.0))
+            <= AGG_TOLERANCE
+        )
