@@ -206,6 +206,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "float64 layout (complaint counts are exact) "
                             "and decisions on the registered scenarios "
                             "are unchanged")
+    run_parser.add_argument("--workers", type=int, default=0, metavar="N",
+                            help="host the community's shared complaint "
+                            "store in N shard-worker processes (one shard "
+                            "per process; the store is sharded "
+                            "max(--shards, N) ways) so trust updates and "
+                            "queries run in parallel across cores; scores "
+                            "are bit-identical to the in-process run "
+                            "(0 = in-process, the default)")
+    run_parser.add_argument("--cache-scores", choices=("on", "off"),
+                            default="on",
+                            help="dirty-row score cache on every trust "
+                            "backend: cached rows are only recomputed "
+                            "after new evidence touches them (default "
+                            "on; 'off' recomputes every query — the "
+                            "reference configuration the cache is "
+                            "validated against)")
     _add_run_options(run_parser)
 
     tolerance_parser = subparsers.add_parser(
@@ -285,10 +301,19 @@ def _print_result(
     router: str = "hash",
     repair: str = "off",
     rebalance_line: Optional[str] = None,
+    workers: int = 0,
+    cache_scores: bool = True,
 ) -> None:
     print(f"Scenario:          {scenario_name}")
+    details = []
     if shards > 1:
-        print(f"Backend:           {backend} ({shards} shards, {router} router)")
+        details.append(f"{shards} shards, {router} router")
+    if workers > 0:
+        details.append(f"store on {workers} worker processes")
+    if not cache_scores:
+        details.append("score cache off")
+    if details:
+        print(f"Backend:           {backend} ({', '.join(details)})")
     else:
         print(f"Backend:           {backend}")
     print(f"Strategy:          {result.strategy_name}")
@@ -372,6 +397,8 @@ def _command_run(args: argparse.Namespace) -> int:
         rebalance_threshold=args.rebalance_threshold,
         max_shards=args.max_shards,
         compact=args.compact,
+        cache_scores=args.cache_scores == "on",
+        workers=args.workers,
     )
     if args.rebalance is not None:
         # Only override when asked: flash-crowd and high-churn carry an
@@ -405,7 +432,11 @@ def _command_run(args: argparse.Namespace) -> int:
             if scenario.config.rebalance == "auto"
             else None
         ),
+        workers=args.workers,
+        cache_scores=args.cache_scores == "on",
     )
+    if args.workers > 0 and hasattr(store, "close"):
+        store.close()  # stop the worker fleet before the interpreter exits
     return 0
 
 

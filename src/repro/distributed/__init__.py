@@ -1,0 +1,22 @@
+"""Distributed deployment plumbing: shard transports for worker processes.
+
+The trust layer's worker deployment (:mod:`repro.trust.workers`) talks to
+its shard-hosting processes through the small :class:`ShardTransport`
+interface defined here, so the message protocol is independent of the
+medium: an OS pipe today, a socket tomorrow, an in-process loopback in
+tests.
+"""
+
+from repro.distributed.transport import (
+    LoopbackTransport,
+    PipeTransport,
+    ShardTransport,
+    loopback_pair,
+)
+
+__all__ = [
+    "ShardTransport",
+    "PipeTransport",
+    "LoopbackTransport",
+    "loopback_pair",
+]

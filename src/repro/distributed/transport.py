@@ -1,0 +1,169 @@
+"""Message transports between a shard router and its shard-hosting workers.
+
+A :class:`ShardTransport` carries whole Python messages (picklable values)
+between exactly two endpoints with FIFO ordering — the only contract the
+worker protocol in :mod:`repro.trust.workers` relies on.  Two
+implementations ship:
+
+:class:`PipeTransport`
+    Wraps one end of a ``multiprocessing`` pipe; this is what the real
+    worker-process deployment uses.
+:class:`LoopbackTransport`
+    An in-process pair (:func:`loopback_pair`) backed by thread-safe
+    mailboxes.  Every message is pickled and unpickled on the way through,
+    so loopback tests exercise the exact wire-serialisation constraints of
+    the process transport without forking — a message that would not
+    survive a pipe does not survive the loopback either.
+
+The interface deliberately mirrors blocking socket semantics — ``send``
+raises :class:`BrokenPipeError` once the peer is gone, ``recv`` raises
+:class:`EOFError` at end of stream, ``poll`` is a readiness check — so a
+socket-backed transport (one ``send``/``recv`` framing TCP messages) can
+slot in without touching the worker protocol.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import deque
+from typing import Any, Optional, Tuple
+
+try:  # typing-only; the pipe transport works with any Connection-like object
+    from multiprocessing.connection import Connection
+except ImportError:  # pragma: no cover - always available on CPython
+    Connection = None  # type: ignore[assignment]
+
+__all__ = [
+    "ShardTransport",
+    "PipeTransport",
+    "LoopbackTransport",
+    "loopback_pair",
+]
+
+
+class ShardTransport:
+    """Bidirectional, ordered message channel between two endpoints.
+
+    ``send`` delivers one picklable message to the peer (raising
+    :class:`BrokenPipeError`/:class:`OSError` when the peer is gone),
+    ``recv`` blocks for the next message (raising :class:`EOFError` when
+    the stream is closed), ``poll`` reports read-readiness without
+    consuming, and ``close`` releases the endpoint — after which the peer's
+    ``recv`` sees end-of-stream.
+    """
+
+    def send(self, message: Any) -> None:
+        raise NotImplementedError
+
+    def recv(self) -> Any:
+        raise NotImplementedError
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "ShardTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class PipeTransport(ShardTransport):
+    """A :class:`ShardTransport` over one end of a ``multiprocessing`` pipe."""
+
+    def __init__(self, connection: "Connection"):
+        self._connection = connection
+
+    def send(self, message: Any) -> None:
+        self._connection.send(message)
+
+    def recv(self) -> Any:
+        return self._connection.recv()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self._connection.poll(timeout)
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class _Mailbox:
+    """One direction of a loopback pair: a closable, blocking FIFO."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+        self._condition = threading.Condition()
+        self.closed = False
+
+    def put(self, item: bytes) -> None:
+        with self._condition:
+            if self.closed:
+                raise BrokenPipeError("loopback peer is closed")
+            self._items.append(item)
+            self._condition.notify()
+
+    def get(self) -> bytes:
+        with self._condition:
+            while not self._items and not self.closed:
+                self._condition.wait()
+            if self._items:
+                return self._items.popleft()
+            raise EOFError("loopback stream closed")
+
+    def ready(self, timeout: float) -> bool:
+        with self._condition:
+            if self._items or self.closed:
+                return True
+            if timeout > 0:
+                self._condition.wait_for(
+                    lambda: bool(self._items) or self.closed, timeout
+                )
+            return bool(self._items) or self.closed
+
+    def close(self) -> None:
+        with self._condition:
+            self.closed = True
+            self._condition.notify_all()
+
+
+class LoopbackTransport(ShardTransport):
+    """In-process transport that still round-trips every message via pickle.
+
+    The pickle round-trip is the point: tests running workers on loopback
+    threads exercise the same wire-serialisation constraints as the
+    process deployment, so a payload that could not cross a pipe fails
+    loudly in-process too.
+    """
+
+    def __init__(self, outbox: _Mailbox, inbox: _Mailbox):
+        self._outbox = outbox
+        self._inbox = inbox
+
+    def send(self, message: Any) -> None:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        self._outbox.put(payload)
+
+    def recv(self) -> Any:
+        return pickle.loads(self._inbox.get())
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self._inbox.ready(timeout)
+
+    def close(self) -> None:
+        # Closing either end tears the whole channel down, mirroring a
+        # broken pipe: the peer's pending recv sees EOF, its sends fail.
+        self._outbox.close()
+        self._inbox.close()
+
+
+def loopback_pair() -> Tuple[LoopbackTransport, LoopbackTransport]:
+    """A connected pair of in-process transports (parent end, worker end)."""
+    forward, backward = _Mailbox(), _Mailbox()
+    return (
+        LoopbackTransport(outbox=forward, inbox=backward),
+        LoopbackTransport(outbox=backward, inbox=forward),
+    )

@@ -114,6 +114,18 @@ class ReputationManager:
         (complaint counts are exactly representable, so the complaint
         method is unaffected).  A shared complaint backend supplied from
         outside keeps whatever layout it has.
+    cache_scores:
+        Keep the dirty-row score cache of every backend this manager
+        creates enabled (the default).  Pass ``False`` to recompute scores
+        on every query — the reference configuration cache correctness is
+        measured against.
+    workers:
+        Host every sharded backend this manager creates in worker
+        processes (:class:`~repro.trust.workers.WorkerShardedBackend`):
+        ``True`` for real processes, ``"loopback"`` for the in-process
+        test transport.  Scores are unchanged; only the execution
+        placement differs.  A shared complaint backend supplied from
+        outside keeps whatever placement it has.
     """
 
     def __init__(
@@ -130,6 +142,8 @@ class ReputationManager:
         shard_router: str = "hash",
         rebalance: Optional["RebalancePolicy"] = None,
         compact: bool = False,
+        cache_scores: bool = True,
+        workers: "bool | str" = False,
     ):
         if not owner_id:
             raise ReputationError("owner_id must be non-empty")
@@ -140,6 +154,8 @@ class ReputationManager:
         self._shard_router = shard_router
         self._rebalance = rebalance
         self._compact = compact
+        self._cache_scores = cache_scores
+        self._workers = workers
         if decay is None:
             beta_backend: TrustBackend = create_backend(
                 "beta",
@@ -149,6 +165,8 @@ class ReputationManager:
                 router=shard_router,
                 rebalance=rebalance,
                 compact=compact,
+                cache_scores=cache_scores,
+                workers=workers,
             )
         elif isinstance(decay, ExponentialDecay):
             beta_backend = create_backend(
@@ -160,6 +178,8 @@ class ReputationManager:
                 router=shard_router,
                 rebalance=rebalance,
                 compact=compact,
+                cache_scores=cache_scores,
+                workers=workers,
             )
         else:
             beta_backend = ScalarBetaBackendAdapter(
@@ -215,6 +235,8 @@ class ReputationManager:
                 router=shard_router,
                 rebalance=rebalance if complaint_store is None else None,
                 compact=compact,
+                cache_scores=cache_scores,
+                workers=workers if complaint_store is None else False,
             )
         # The DECAY backend is materialised lazily on first use (most peers
         # never query it); recorded interactions are replayed into it then,
@@ -274,6 +296,8 @@ class ReputationManager:
                 router=self._shard_router,
                 rebalance=self._rebalance,
                 compact=self._compact,
+                cache_scores=self._cache_scores,
+                workers=self._workers,
             )
             backend.update_many(
                 [self._observation_from(record) for record in self._interactions]

@@ -51,6 +51,7 @@ class CommunityPeer:
         shard_router: str = "hash",
         rebalance: Optional["RebalancePolicy"] = None,
         compact: bool = False,
+        cache_scores: bool = True,
     ):
         if not peer_id:
             raise SimulationError("peer_id must be non-empty")
@@ -69,6 +70,7 @@ class CommunityPeer:
             shard_router=shard_router,
             rebalance=rebalance,
             compact=compact,
+            cache_scores=cache_scores,
         )
         self.defection_penalty = defection_penalty
         self.supplies_goods = supplies_goods

@@ -1456,6 +1456,14 @@ def create_backend(name: str, **params: object) -> TrustBackend:
     sharded even at ``shards=1``, so a single-shard deployment can grow in
     place as its population does.
 
+    ``workers=True`` hosts each shard in its own worker process instead
+    (:class:`~repro.trust.workers.WorkerShardedBackend`): same interface,
+    same scores, but writes and column-partitioned queries run in parallel
+    across cores.  ``workers="loopback"`` keeps the identical message
+    protocol on in-process threads (the deterministic test medium), and
+    ``recovery=True`` journals writes so crashed workers can be healed
+    (see :meth:`~repro.trust.workers.WorkerShardedBackend.heal_workers`).
+
     All remaining keyword parameters are forwarded to the backend factory
     (and, when sharded, to every shard).  The built-in backends accept
     ``compact=True`` for the memory-bounded evidence layout (narrow dtypes +
@@ -1465,6 +1473,8 @@ def create_backend(name: str, **params: object) -> TrustBackend:
     shards = int(params.pop("shards", 1))  # type: ignore[arg-type]
     router = params.pop("router", "hash")
     rebalance = params.pop("rebalance", None)
+    workers = params.pop("workers", False)
+    recovery = bool(params.pop("recovery", False))
     if shards < 1:
         raise TrustModelError(f"shards must be >= 1, got {shards}")
     factory = _BACKEND_FACTORIES.get(name)
@@ -1472,6 +1482,21 @@ def create_backend(name: str, **params: object) -> TrustBackend:
         raise TrustModelError(
             f"unknown trust backend {name!r}; registered: {backend_names()}"
         )
+    if workers:
+        from repro.trust.workers import WorkerShardedBackend
+
+        transport = "loopback" if workers == "loopback" else "process"
+        return WorkerShardedBackend(
+            name,
+            shards,
+            router=router,
+            rebalance=rebalance,
+            transport=transport,
+            recovery=recovery,
+            **params,
+        )
+    if recovery:
+        raise TrustModelError("recovery=True requires workers=True")
     if shards > 1 or rebalance is not None:
         from repro.trust.sharding import ShardedBackend
 

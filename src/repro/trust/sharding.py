@@ -553,9 +553,9 @@ class ShardedBackend(TrustBackend):
         else:
             self._router = create_router(str(router), num_shards)
         self._shards: Tuple[TrustBackend, ...] = tuple(
-            create_backend(kind, **shard_params) for _ in range(num_shards)
+            self._create_shard() for _ in range(num_shards)
         )
-        self._complaint_family = isinstance(self._shards[0], ComplaintTrustBackend)
+        self._complaint_family = self._detect_complaint_family()
         if rebalance is not None:
             if not isinstance(rebalance, RebalancePolicy):
                 raise TrustModelError(
@@ -591,6 +591,23 @@ class ShardedBackend(TrustBackend):
             self._restrict_shard_rows()
         self._writes = 0
         self._reference_cache: Tuple[int, float] = (-1, 0.0)
+
+    def _create_shard(self, **overrides: object) -> TrustBackend:
+        """Instantiate one inner shard (``shard_params`` merged with overrides).
+
+        The single construction point for inner backends — initial shards,
+        split successors and re-sharded complaint shards all come through
+        here, so a subclass that hosts shards elsewhere (the worker-process
+        deployment in :mod:`repro.trust.workers`) overrides exactly one
+        method to change where every shard lives.
+        """
+        params = dict(self._shard_params)
+        params.update(overrides)
+        return create_backend(self._kind, **params)
+
+    def _detect_complaint_family(self) -> bool:
+        """Whether the inner shards are complaint-family backends."""
+        return isinstance(self._shards[0], ComplaintTrustBackend)
 
     def _restrict_shard_rows(self) -> None:
         for index, shard in enumerate(self._shards):
@@ -952,7 +969,7 @@ class ShardedBackend(TrustBackend):
         states = self._row_states([state], 2, position_of)
         successors = []
         for shard_state in states:
-            successor = create_backend(self._kind, **self._shard_params)
+            successor = self._create_shard()
             successor.restore(shard_state)
             successors.append(successor)
         return (
@@ -964,23 +981,18 @@ class ShardedBackend(TrustBackend):
 
     def _complaint_shard_from_config(
         self, shard_state: Dict[str, np.ndarray], home_index: int
-    ) -> ComplaintTrustBackend:
+    ) -> TrustBackend:
         """A fresh, row-restricted complaint shard with a snapshot's config."""
         tolerance_factor, trust_scale = (
             float(value) for value in shard_state["config"]
         )
-        # Layout/caching knobs are deployment configuration, not snapshot
-        # state: successors inherit them from this wrapper's shard params.
-        extras = {
-            key: self._shard_params[key]
-            for key in ("compact", "cache_scores")
-            if key in self._shard_params
-        }
-        shard = ComplaintTrustBackend(
+        # The snapshot's scoring configuration overrides whatever the shard
+        # params carry; layout/caching knobs (compact, cache_scores) are
+        # deployment configuration and stay with this wrapper's params.
+        shard = self._create_shard(
             tolerance_factor=tolerance_factor,
             trust_scale=trust_scale,
             metric_mode=str(np.asarray(shard_state["metric_mode"]).item()),
-            **extras,
         )
         self._restrict_one(shard, home_index)
         return shard

@@ -116,6 +116,7 @@ def build_population(
     shard_router: str = "hash",
     rebalance: Optional[RebalancePolicy] = None,
     compact: bool = False,
+    cache_scores: bool = True,
 ) -> List[CommunityPeer]:
     """Build the peers described by ``spec``.
 
@@ -143,6 +144,7 @@ def build_population(
                 shard_router=shard_router,
                 rebalance=rebalance,
                 compact=compact,
+                cache_scores=cache_scores,
             )
         )
     return peers
@@ -157,6 +159,7 @@ def population_factory(
     shard_router: str = "hash",
     rebalance: Optional[RebalancePolicy] = None,
     compact: bool = False,
+    cache_scores: bool = True,
 ) -> Callable[[int], CommunityPeer]:
     """A factory for churn arrivals drawing behaviours from the same spec."""
     rng = random.Random(seed + 1)
@@ -174,6 +177,7 @@ def population_factory(
             shard_router=shard_router,
             rebalance=rebalance,
             compact=compact,
+            cache_scores=cache_scores,
         )
 
     return factory

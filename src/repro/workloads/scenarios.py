@@ -106,6 +106,8 @@ def build_scenario(
     rebalance_threshold: float = 2.0,
     max_shards: int = 16,
     compact: bool = False,
+    cache_scores: bool = True,
+    workers: int = 0,
 ) -> ScenarioSpec:
     """Construct one of the named scenarios.
 
@@ -159,6 +161,15 @@ def build_scenario(
     arrays that grow without copying — trading bit-identity for a
     documented float32 tolerance on beta-family scores (complaint counters
     remain exact); decisions on the registered scenarios are unchanged.
+    ``cache_scores=False`` disables the dirty-row score cache on every
+    trust backend in the scenario (the reference configuration the cache is
+    validated against).  ``workers=N`` (N >= 1) hosts the community's
+    shared complaint store in N shard-worker processes
+    (:class:`~repro.trust.workers.WorkerShardedBackend`) so the store's
+    updates and queries run in parallel across cores; the store is sharded
+    ``max(shards, workers)`` ways and scores stay bit-identical to the
+    in-process run.  Per-peer private backends stay in-process — one
+    worker fleet per peer would oversubscribe any machine.
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
@@ -170,6 +181,8 @@ def build_scenario(
         raise WorkloadError(
             f"rebalance must be 'off' or 'auto', got {rebalance!r}"
         )
+    if workers < 0:
+        raise WorkloadError(f"workers must be >= 0, got {workers}")
     trust_method = _resolve_trust_method(backend)
     rebalance_policy: Optional[RebalancePolicy] = None
     if rebalance == "auto":
@@ -197,10 +210,12 @@ def build_scenario(
     shared_store = create_backend(
         "complaint",
         metric_mode="balanced",
-        shards=shards,
+        shards=max(shards, workers) if workers else shards,
         router=shard_router,
         rebalance=rebalance_policy,
         compact=compact,
+        cache_scores=cache_scores,
+        workers=workers > 0,
     )
     churn: Optional[ChurnModel] = None
     factory: Optional[Callable[[int], CommunityPeer]] = None
@@ -294,6 +309,7 @@ def build_scenario(
             shard_router=shard_router,
             rebalance=rebalance_policy,
             compact=compact,
+            cache_scores=cache_scores,
         )
     elif name == "collusive-witness":
         spec = PopulationSpec(
@@ -381,6 +397,7 @@ def build_scenario(
             shard_router=shard_router,
             rebalance=rebalance_policy,
             compact=compact,
+            cache_scores=cache_scores,
         )
     elif name == "partition-heal":
         # Two cliques (even/odd peer index) lose every cross-partition
@@ -516,6 +533,7 @@ def build_scenario(
         shard_router=shard_router,
         rebalance=rebalance_policy,
         compact=compact,
+        cache_scores=cache_scores,
     )
     if name == "sybil-coalition":
         coalition_peers = [

@@ -1,0 +1,204 @@
+"""Unit tests for the worker-distributed sharded backend.
+
+Most tests run on the loopback transport: same protocol, same pickled
+wire format, no forking — and deterministic.  A small set exercises real
+worker processes end to end (spawn, query, stream, shutdown).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrustModelError
+from repro.trust import (
+    RebalancePolicy,
+    ShardedBackend,
+    TrustObservation,
+    WorkerCrashError,
+    WorkerShardedBackend,
+    create_backend,
+)
+
+PEERS = [f"peer-{index:03d}" for index in range(80)]
+KINDS = ("beta", "decay", "complaint")
+
+
+def observations(seed, count=300, complaints=True):
+    rng = np.random.default_rng(seed)
+    return [
+        TrustObservation(
+            observer_id=str(rng.choice(PEERS)),
+            subject_id=str(rng.choice(PEERS)),
+            honest=bool(rng.integers(2)),
+            timestamp=float(tick),
+            files_complaint=(
+                bool(rng.integers(2))
+                if complaints and rng.integers(3) == 0
+                else None
+            ),
+        )
+        for tick in range(count)
+    ]
+
+
+def loopback(kind, **params):
+    return create_backend(kind, workers="loopback", **params)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_loopback_scores_bit_identical(kind):
+    obs = observations(1)
+    reference = create_backend(kind, shards=4)
+    reference.update_many(obs)
+    with loopback(kind, shards=4) as backend:
+        backend.update_many(obs)
+        backend.flush()
+        assert np.array_equal(
+            backend.scores_for(PEERS), reference.scores_for(PEERS)
+        )
+        assert np.array_equal(
+            backend.trust_decisions(PEERS), reference.trust_decisions(PEERS)
+        )
+        assert backend.known_subjects() == reference.known_subjects()
+        if kind == "complaint":  # __len__ is ComplaintStore protocol
+            assert len(backend) == len(reference)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_loopback_witness_aggregation_matches(kind):
+    obs = observations(2)
+    reference = create_backend(kind, shards=3)
+    reference.update_many(obs)
+    rng = np.random.default_rng(3)
+    matrix = np.abs(rng.normal(size=(4, len(PEERS), 2)))
+    discounts = np.full(4, 0.5)
+    with loopback(kind, shards=3) as backend:
+        backend.update_many(obs)
+        assert np.array_equal(
+            backend.aggregate_witness_reports(PEERS, matrix, discounts),
+            reference.aggregate_witness_reports(PEERS, matrix, discounts),
+        )
+
+
+def test_complaint_store_protocol_over_workers():
+    obs = observations(4)
+    reference = create_backend("complaint", shards=4)
+    reference.update_many(obs)
+    with loopback("complaint", shards=4) as backend:
+        backend.update_many(obs)
+        assert backend.all_complaints() == reference.all_complaints()
+        for peer in PEERS[:10]:
+            assert backend.counts(peer) == reference.counts(peer)
+            assert backend.complaints_about(peer) == (
+                reference.complaints_about(peer)
+            )
+        assert backend.tolerance_factor == reference.tolerance_factor
+        assert backend.metric_mode == reference.metric_mode
+
+
+def test_rebalance_split_is_worker_handoff():
+    policy = RebalancePolicy(split_rows=24, max_shards=6)
+    obs = observations(5, complaints=False)
+    reference = create_backend(
+        "beta", shards=2, router="range", rebalance=policy
+    )
+    reference.update_many(obs)
+    assert reference.num_shards > 2  # the stream actually forced splits
+    with loopback(
+        "beta", shards=2, router="range", rebalance=policy
+    ) as backend:
+        backend.update_many(obs)
+        assert backend.num_shards == reference.num_shards
+        assert np.array_equal(
+            backend.scores_for(PEERS), reference.scores_for(PEERS)
+        )
+        # Retired pre-split workers were reaped, one live worker per shard.
+        assert len(backend._proxy_registry) == backend.num_shards
+
+
+def test_streaming_snapshot_interops_with_in_process_backend():
+    obs = observations(6)
+    with loopback("decay", shards=3) as backend:
+        backend.update_many(obs)
+        expected = backend.scores_for(PEERS)
+        replica = ShardedBackend("decay", 3)
+        replica.restore_items(backend.snapshot_items())
+        assert np.array_equal(replica.scores_for(PEERS), expected)
+        # And the reverse direction: in-process snapshot into workers.
+        with loopback("decay", shards=3) as second:
+            second.restore_items(replica.snapshot_items())
+            assert np.array_equal(second.scores_for(PEERS), expected)
+
+
+def test_worker_error_surfaces_and_backend_stays_usable():
+    with loopback("beta", shards=2) as backend:
+        backend.update_many(observations(7, complaints=False))
+        with pytest.raises(Exception):
+            backend.restore({"backend": np.array("nonsense")})
+        # The failed call must not desync the reply channel.
+        assert len(backend.scores_for(PEERS)) == len(PEERS)
+
+
+def test_write_error_held_until_next_call():
+    with loopback("beta", shards=1) as backend:
+        proxy = backend.shards[0]
+        proxy._write("bogus-method", ())
+        with pytest.raises(TrustModelError):
+            backend.flush()
+        # Surfacing the error clears it; the worker keeps serving.
+        backend.flush()
+
+
+def test_dead_worker_raises_without_recovery():
+    backend = loopback("beta", shards=2)
+    backend.shards[0].stop()
+    with pytest.raises(WorkerCrashError):
+        backend.scores_for(PEERS)
+    backend.close()
+
+
+def test_close_is_idempotent_and_stops_workers():
+    backend = loopback("beta", shards=2)
+    proxies = list(backend.shards)
+    backend.close()
+    assert backend.closed
+    assert all(proxy.dead for proxy in proxies)
+    backend.close()  # second close is a no-op
+
+
+def test_create_backend_wiring():
+    with create_backend("beta", shards=2, workers="loopback") as backend:
+        assert isinstance(backend, WorkerShardedBackend)
+        assert backend.transport_kind == "loopback"
+        assert backend.name == "sharded"  # snapshot-interop contract
+    with pytest.raises(TrustModelError):
+        create_backend("beta", shards=2, recovery=True)  # needs workers
+
+
+def test_process_transport_end_to_end():
+    obs = observations(8)
+    reference = create_backend("beta", shards=2)
+    reference.update_many(obs)
+    with create_backend("beta", shards=2, workers=True) as backend:
+        assert backend.transport_kind == "process"
+        backend.update_many(obs)
+        backend.flush()
+        assert np.array_equal(
+            backend.scores_for(PEERS), reference.scores_for(PEERS)
+        )
+        snapshot = dict(backend.snapshot_items())
+    replica = ShardedBackend("beta", 2)
+    replica.restore(snapshot)
+    assert np.array_equal(
+        replica.scores_for(PEERS), reference.scores_for(PEERS)
+    )
+
+
+def test_compact_layout_within_float32_tolerance():
+    obs = observations(9, complaints=False)
+    reference = create_backend("beta", shards=4, compact=True)
+    reference.update_many(obs)
+    with loopback("beta", shards=4, compact=True) as backend:
+        backend.update_many(obs)
+        np.testing.assert_allclose(
+            backend.scores_for(PEERS), reference.scores_for(PEERS), rtol=1e-5
+        )
