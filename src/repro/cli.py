@@ -1,6 +1,6 @@
 """Command-line interface for quick experiments.
 
-Five subcommands cover the common interactive uses of the library:
+Six subcommands cover the common interactive uses of the library:
 
 ``repro plan``
     Plan a trust-aware exchange for an ad-hoc bundle given on the command
@@ -11,6 +11,14 @@ Five subcommands cover the common interactive uses of the library:
 ``repro run``
     Run any registered scenario with a chosen trust backend and exchange
     strategy (``repro run --scenario high-churn --backend decay``).
+    ``--telemetry summary`` appends the metrics-registry snapshot to the
+    run summary; ``--telemetry jsonl:PATH`` additionally streams span
+    traces to PATH.
+``repro audit``
+    Run a scenario with the evidence audit trail attached, then reconcile
+    the trail against the backends, the complaint store and the evidence
+    journals; exits non-zero on divergence.  ``--inject`` plants a fault
+    (double-apply or drop) to prove the audit detects it.
 ``repro scenario``
     Legacy spelling of ``run`` (positional scenario name, beta backend).
 ``repro tolerance``
@@ -25,6 +33,7 @@ invoked with ``python -m repro.cli``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -45,6 +54,14 @@ from repro.core.trust_aware import plan_trust_aware_exchange
 from repro.core.safety import verify_sequence
 from repro.exceptions import ReproError
 from repro.marketplace import TrustAwareStrategy
+from repro.obs import (
+    EvidenceAuditTrail,
+    collect_audit_inputs,
+    create_registry,
+    inject_double_apply,
+    inject_dropped_entry,
+    reconcile,
+)
 from repro.reputation.manager import TrustMethod
 from repro.simulation.repair import REPAIR_POLICIES
 from repro.trust import ROUTER_NAMES, ShardedBackend
@@ -135,6 +152,46 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser(
         "run", help="run a registered scenario with a chosen trust backend"
     )
+    _add_scenario_knobs(run_parser)
+    run_parser.add_argument("--telemetry", default="off", metavar="MODE",
+                            help="telemetry recorder: 'off' (zero-cost null "
+                            "recorder, the default), 'summary' (aggregate "
+                            "counters/histograms appended to the run "
+                            "summary) or 'jsonl:PATH' (summary plus nested "
+                            "span traces streamed to PATH as JSON lines)")
+    _add_run_options(run_parser)
+
+    audit_parser = subparsers.add_parser(
+        "audit",
+        help="run a scenario with the evidence audit trail attached and "
+        "reconcile journals, backends and the complaint store",
+    )
+    _add_scenario_knobs(audit_parser)
+    audit_parser.add_argument("--inject", choices=("double-apply", "drop"),
+                              default=None,
+                              help="plant a fault after the run, before "
+                              "reconciliation: re-apply one filed complaint "
+                              "(double-apply) or silently delete one "
+                              "(drop); the audit must flag it")
+    audit_parser.add_argument("--json", default=None, metavar="PATH",
+                              help="also write the machine-readable "
+                              "divergence report (BENCH_*.json shape) to "
+                              "PATH")
+    _add_run_options(audit_parser)
+
+    tolerance_parser = subparsers.add_parser(
+        "tolerance",
+        help="required tolerance and cooperation threshold for a bundle",
+    )
+    tolerance_parser.add_argument(
+        "items", nargs="+", help="goods as name=supplier_cost:consumer_value"
+    )
+    tolerance_parser.add_argument("--price", type=float, default=None)
+    return parser
+
+
+def _add_scenario_knobs(run_parser: argparse.ArgumentParser) -> None:
+    """Scenario/backend/evidence knobs shared by ``run`` and ``audit``."""
     run_parser.add_argument("--scenario", required=True, choices=scenario_names())
     run_parser.add_argument("--backend", choices=BACKEND_CHOICES,
                             default=None,
@@ -222,17 +279,6 @@ def build_parser() -> argparse.ArgumentParser:
                             "on; 'off' recomputes every query — the "
                             "reference configuration the cache is "
                             "validated against)")
-    _add_run_options(run_parser)
-
-    tolerance_parser = subparsers.add_parser(
-        "tolerance",
-        help="required tolerance and cooperation threshold for a bundle",
-    )
-    tolerance_parser.add_argument(
-        "items", nargs="+", help="goods as name=supplier_cost:consumer_value"
-    )
-    tolerance_parser.add_argument("--price", type=float, default=None)
-    return parser
 
 
 def _default_price(bundle: GoodsBundle, price: Optional[float]) -> float:
@@ -297,23 +343,17 @@ def _print_result(
     scenario_name: str,
     backend: str,
     result,
-    shards: int = 1,
-    router: str = "hash",
+    store=None,
     repair: str = "off",
     rebalance_line: Optional[str] = None,
-    workers: int = 0,
-    cache_scores: bool = True,
+    telemetry_lines: Optional[List[str]] = None,
 ) -> None:
     print(f"Scenario:          {scenario_name}")
-    details = []
-    if shards > 1:
-        details.append(f"{shards} shards, {router} router")
-    if workers > 0:
-        details.append(f"store on {workers} worker processes")
-    if not cache_scores:
-        details.append("score cache off")
-    if details:
-        print(f"Backend:           {backend} ({', '.join(details)})")
+    if store is not None:
+        # One canonical config string from the store itself — the effective
+        # backend deployment (shards, router, rebalance, compact, caching,
+        # workers, recovery), not a re-derivation from CLI flags.
+        print(f"Backend:           {backend} (store: {store.describe_config()})")
     else:
         print(f"Backend:           {backend}")
     print(f"Strategy:          {result.strategy_name}")
@@ -344,6 +384,10 @@ def _print_result(
                 f"lag p50/p95 {counters.convergence_lag_p50:.1f}/"
                 f"{counters.convergence_lag_p95:.1f} rounds"
             )
+    if telemetry_lines:
+        print("Telemetry:")
+        for line in telemetry_lines:
+            print(f"  {line}")
 
 
 def _command_scenario(args: argparse.Namespace) -> int:
@@ -356,7 +400,9 @@ def _command_scenario(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     result = scenario.simulation(strategy).run()
-    _print_result(args.name, scenario.trust_method, result)
+    _print_result(
+        args.name, scenario.trust_method, result, store=scenario.complaint_store
+    )
     return 0
 
 
@@ -376,8 +422,10 @@ def _command_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    strategy = STRATEGY_FACTORIES[args.strategy]()
+def _build_scenario_from_args(
+    args: argparse.Namespace, telemetry=None
+):
+    """Build the registered scenario a ``run``/``audit`` invocation names."""
     params = dict(
         backend=args.backend,
         size=args.size,
@@ -399,45 +447,102 @@ def _command_run(args: argparse.Namespace) -> int:
         compact=args.compact,
         cache_scores=args.cache_scores == "on",
         workers=args.workers,
+        telemetry=telemetry,
     )
     if args.rebalance is not None:
         # Only override when asked: flash-crowd and high-churn carry an
         # "auto" registry default that an unset flag must not clobber.
         params["rebalance"] = args.rebalance
-    scenario = build_registered_scenario(args.scenario, **params)
-    simulation = scenario.simulation(strategy)
-    result = simulation.run()
+    return build_registered_scenario(args.scenario, **params)
+
+
+def _drain_repair(scenario, simulation) -> None:
     if scenario.config.evidence_repair != "off":
         # "Effective delivery" is a *post-repair* number: give the repair
         # policy bounded extra ticks past the horizon to converge before
         # reporting it (the counters object is shared with the result).
         simulation.evidence_plane.drain(max_ticks=200)
-    store = scenario.complaint_store
-    actual_router = (
-        store.router.name
-        if isinstance(store, ShardedBackend)
-        else args.shard_router
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    strategy = STRATEGY_FACTORIES[args.strategy]()
+    registry, jsonl_path = create_registry(args.telemetry)
+    scenario = _build_scenario_from_args(
+        args, telemetry=registry if registry.enabled else None
     )
+    simulation = scenario.simulation(strategy)
+    result = simulation.run()
+    _drain_repair(scenario, simulation)
+    store = scenario.complaint_store
+    telemetry_lines: Optional[List[str]] = None
+    if registry.enabled:
+        telemetry_lines = list(registry.summary_lines())
+        if jsonl_path is not None:
+            registry.write_jsonl(jsonl_path)
+            telemetry_lines.append(f"trace written to {jsonl_path}")
     _print_result(
         # Report what actually ran: the registry may supply the backend
         # (partition-heal -> complaint, fluctuating-behaviour -> decay) and
         # scenarios may upgrade the repair policy (partition-heal -> gossip)
         # or the shard router (rebalance auto upgrades hash -> ring, which
-        # the built store reflects).
+        # the built store's canonical config string reflects).
         args.scenario, scenario.trust_method, result,
-        shards=args.shards, router=actual_router,
+        store=store,
         repair=scenario.config.evidence_repair,
         rebalance_line=(
             _rebalance_line(scenario, simulation)
             if scenario.config.rebalance == "auto"
             else None
         ),
-        workers=args.workers,
-        cache_scores=args.cache_scores == "on",
+        telemetry_lines=telemetry_lines,
     )
     if args.workers > 0 and hasattr(store, "close"):
         store.close()  # stop the worker fleet before the interpreter exits
     return 0
+
+
+def _command_audit(args: argparse.Namespace) -> int:
+    strategy = STRATEGY_FACTORIES[args.strategy]()
+    scenario = _build_scenario_from_args(args)
+    simulation = scenario.simulation(strategy)
+    trail = EvidenceAuditTrail()
+    simulation.evidence_plane.attach_audit(trail)
+    simulation.run()
+    # Flush in-flight evidence and let any repair policy converge: the
+    # audit compares settled state, not a mid-flight snapshot.
+    simulation.evidence_plane.drain(max_ticks=200)
+    store = scenario.complaint_store
+    if args.inject == "double-apply":
+        injected = inject_double_apply(store)
+    elif args.inject == "drop":
+        injected = inject_dropped_entry(store)
+    else:
+        injected = None
+    report = reconcile(
+        trail,
+        # The plane was drained above, so journaled entries must all be
+        # applied or expired — hold the journal-coverage check to that.
+        require_settled=True,
+        **collect_audit_inputs(simulation, store=store),
+    )
+    print(f"Scenario:          {args.scenario}")
+    print(f"Backend:           {scenario.trust_method} "
+          f"(store: {store.describe_config()})")
+    if injected is not None:
+        print(
+            f"Injected fault:    {args.inject} "
+            f"({injected[0]} -> {injected[1]} @ {injected[2]:g})"
+        )
+    print(report.render())
+    if args.json is not None:
+        payload = report.to_payload(name=f"audit_{args.scenario}")
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    if args.workers > 0 and hasattr(store, "close"):
+        store.close()  # stop the worker fleet before the interpreter exits
+    return 0 if report.passed else 1
 
 
 def _command_tolerance(args: argparse.Namespace) -> int:
@@ -468,6 +573,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_list_scenarios(args)
         if args.command == "run":
             return _command_run(args)
+        if args.command == "audit":
+            return _command_audit(args)
         return _command_tolerance(args)
     except (ReproError, argparse.ArgumentTypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)

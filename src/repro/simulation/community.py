@@ -36,6 +36,7 @@ from repro.marketplace.listing import Listing
 from repro.marketplace.matching import random_matching, trust_weighted_matching
 from repro.marketplace.protocol import ExchangeOutcome, run_exchange
 from repro.marketplace.strategy import ExchangeStrategy, StrategyContext
+from repro.obs.metrics import NULL_REGISTRY
 from repro.simulation.churn import ChurnEvent, ChurnModel
 from repro.simulation.evidence import EVIDENCE_MODES, EvidencePlane
 from repro.simulation.network import NetworkCounters
@@ -93,6 +94,10 @@ class CommunityConfig:
     rebalance_threshold: float = 2.0
     #: Upper bound on the shard count a rebalanced backend may grow to.
     max_shards: int = 16
+    #: Telemetry registry (:class:`repro.obs.MetricsRegistry`) the run
+    #: reports into, or ``None`` for the zero-cost null recorder.  Purely
+    #: observational: binding a registry never changes a result.
+    telemetry: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -296,6 +301,9 @@ class CommunitySimulation:
             repair_rng=self._streams("evidence-repair"),
             fault=self._config.evidence_fault,
         )
+        telemetry = self._config.telemetry
+        self._telemetry = telemetry if telemetry is not None else NULL_REGISTRY
+        self._evidence.bind_telemetry(self._telemetry)
         for peer in self._peers:
             self._evidence.register_peer(peer)
 
@@ -499,55 +507,63 @@ class CommunitySimulation:
         screening never changes a result — it only skips dead planning
         work on the hot path.
         """
-        prepared = [
-            (listing, self._prepare_match(consumer_id, listing, timestamp))
-            for consumer_id, listing in matches
-        ]
-        candidates = [
-            (listing, plan_inputs)
-            for listing, plan_inputs in prepared
-            if plan_inputs is not None
-        ]
-        if not candidates:
-            return []
-        keep = self._strategy.screen_candidates(
-            [listing.bundle for listing, _ in candidates],
-            [price for _, (_, _, price, _) in candidates],
-            [context for _, (_, _, _, context) in candidates],
-        )
+        telemetry = self._telemetry
+        with telemetry.span("exchange.screen"):
+            prepared = [
+                (listing, self._prepare_match(consumer_id, listing, timestamp))
+                for consumer_id, listing in matches
+            ]
+            candidates = [
+                (listing, plan_inputs)
+                for listing, plan_inputs in prepared
+                if plan_inputs is not None
+            ]
+            if not candidates:
+                return []
+            keep = self._strategy.screen_candidates(
+                [listing.bundle for listing, _ in candidates],
+                [price for _, (_, _, price, _) in candidates],
+                [context for _, (_, _, _, context) in candidates],
+            )
+        if telemetry.enabled:
+            kept = sum(1 for passed in keep if passed)
+            telemetry.count("exchange.candidates", len(candidates))
+            telemetry.count("exchange.screened_out", len(candidates) - kept)
+            telemetry.observe("exchange.round_candidates", len(candidates))
         outcomes: List[ExchangeOutcome] = []
-        for (listing, (supplier, consumer, price, context)), passed in zip(
-            candidates, keep
-        ):
-            if not passed:
+        with telemetry.span("exchange.plan"):
+            for (listing, (supplier, consumer, price, context)), passed in zip(
+                candidates, keep
+            ):
+                if not passed:
+                    outcomes.append(
+                        ExchangeOutcome(
+                            supplier_id=supplier.peer_id,
+                            consumer_id=consumer.peer_id,
+                            bundle=listing.bundle,
+                            price=price,
+                            scheduled=False,
+                            sequence=None,
+                            result=None,
+                            record=None,
+                            timestamp=timestamp,
+                        )
+                    )
+                    continue
                 outcomes.append(
-                    ExchangeOutcome(
+                    run_exchange(
                         supplier_id=supplier.peer_id,
                         consumer_id=consumer.peer_id,
                         bundle=listing.bundle,
                         price=price,
-                        scheduled=False,
-                        sequence=None,
-                        result=None,
-                        record=None,
+                        strategy=self._strategy,
+                        context=context,
+                        supplier_behavior=supplier.behavior,
+                        consumer_behavior=consumer.behavior,
+                        rng=self._streams("execution"),
                         timestamp=timestamp,
                     )
                 )
-                continue
-            outcomes.append(
-                run_exchange(
-                    supplier_id=supplier.peer_id,
-                    consumer_id=consumer.peer_id,
-                    bundle=listing.bundle,
-                    price=price,
-                    strategy=self._strategy,
-                    context=context,
-                    supplier_behavior=supplier.behavior,
-                    consumer_behavior=consumer.behavior,
-                    rng=self._streams("execution"),
-                    timestamp=timestamp,
-                )
-            )
         return outcomes
 
     def _flush_observations(

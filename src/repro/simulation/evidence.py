@@ -48,6 +48,7 @@ import random
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import SimulationError
+from repro.obs.metrics import NULL_REGISTRY
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.network import (
     ExponentialLatency,
@@ -75,6 +76,32 @@ COMPLAINT_SINK = "__complaint-sink__"
 
 #: Message kinds owned by the repair subsystem rather than the evidence flow.
 _REPAIR_KINDS = ("repair-ack", "repair-digest", "repair-entries")
+
+
+def _derived_complaints(recipient_id: str, records: Sequence):
+    """Complaint filings that applying ``records`` to ``recipient_id`` causes.
+
+    ``observe_outcomes`` converts each record into an observation about the
+    partner (``files_complaint=None`` — "file exactly when dishonest"), and
+    the recipient's complaint backend turns every dishonest-partner
+    observation into a filing against the partner in the shared store.  The
+    audit trail needs those filings on its ledger, so this mirrors that
+    derivation exactly (self-observations excluded, as the backend does).
+    """
+    filings = []
+    for record in records:
+        if recipient_id == record.supplier_id:
+            partner_id = record.consumer_id
+            partner_honest = record.consumer_honest
+        elif recipient_id == record.consumer_id:
+            partner_id = record.supplier_id
+            partner_honest = record.supplier_honest
+        else:
+            continue
+        if partner_honest or partner_id == recipient_id:
+            continue
+        filings.append((recipient_id, partner_id, float(record.timestamp)))
+    return filings
 
 
 class EvidencePlane:
@@ -172,6 +199,10 @@ class EvidencePlane:
         self._expired: Set[Tuple[str, int]] = set()
         #: recipient -> keys of entries emitted to it but not yet applied.
         self._unapplied: Dict[str, Set[Tuple[str, int]]] = {}
+        #: Optional independent audit ledger (see :mod:`repro.obs.audit`).
+        self._audit = None
+        #: Telemetry registry; the null registry keeps every hook a no-op.
+        self._telemetry = NULL_REGISTRY
         if mode == "async":
             if latency_model is None:
                 latency_model = ExponentialLatency(
@@ -221,6 +252,34 @@ class EvidencePlane:
         """Post-repair fraction of evidence entries applied (1.0 when sync)."""
         counters = self.counters
         return 1.0 if counters is None else counters.effective_delivery_ratio
+
+    @property
+    def journals(self) -> Dict[str, EvidenceJournal]:
+        """Per-holder evidence journals (populated under journaling repair)."""
+        return dict(self._journals)
+
+    def attach_audit(self, trail) -> None:
+        """Feed emit/apply/expire events into an independent audit ledger.
+
+        Must be attached before the run starts — the trail needs to see
+        every event to reconcile afterwards (see :mod:`repro.obs.audit`).
+        """
+        self._audit = trail
+
+    @property
+    def audit_trail(self):
+        return self._audit
+
+    def bind_telemetry(self, registry) -> None:
+        """Report the plane's traffic through a metrics registry.
+
+        The authoritative counters stay on :class:`NetworkCounters`; the
+        registry gets a *view* over them, so ``telemetry=off`` costs
+        nothing and the attribute API is unchanged.
+        """
+        self._telemetry = registry
+        if registry.enabled and self._network is not None:
+            registry.add_view("evidence", self._network.counters.metrics_view)
 
     def is_settled(self, entry: EvidenceEntry) -> bool:
         """Whether an entry has reached its destination (or been written off).
@@ -294,6 +353,8 @@ class EvidencePlane:
             return
         self._expired.add(key)
         counters.entries_expired += 1
+        if self._audit is not None:
+            self._audit.on_expired(key)
         for keys in self._unapplied.values():
             keys.discard(key)
 
@@ -357,6 +418,17 @@ class EvidencePlane:
             peer = self._peers.get(recipient_id)
             if peer is not None:
                 peer.observe_outcomes(records)
+                if self._audit is not None:
+                    self._audit.on_applied(
+                        None,
+                        "evidence",
+                        recipient_id,
+                        len(records),
+                        derived_complaints=_derived_complaints(
+                            recipient_id, records
+                        ),
+                    )
+                self._telemetry.count("evidence.records_applied", len(records))
             return
         origin = sender_id if sender_id is not None else recipient_id
         entry = self._make_entry(
@@ -370,6 +442,15 @@ class EvidencePlane:
         """Route a complaint filing through the plane to the complaint system."""
         if self._network is None:
             filer.reputation.file_complaint(accused_id, timestamp=timestamp)
+            if self._audit is not None:
+                self._audit.on_applied(
+                    None,
+                    "complaint",
+                    COMPLAINT_SINK,
+                    1,
+                    complaint=(filer.peer_id, accused_id, float(timestamp)),
+                )
+            self._telemetry.count("evidence.complaints_applied")
             return
         # The payload carries the filer itself (not just its id): a complaint
         # already in flight still reaches the shared store even when the
@@ -445,6 +526,9 @@ class EvidencePlane:
         if not transient:
             counters = self._network.counters
             counters.entries_emitted += 1
+            if self._audit is not None:
+                units = len(payload) if kind == "evidence" else 1
+                self._audit.on_emitted(entry.key, kind, recipient_id, units)
             if recipient_id == COMPLAINT_SINK or recipient_id in self._peers:
                 self._unapplied.setdefault(recipient_id, set()).add(entry.key)
             else:
@@ -452,6 +536,8 @@ class EvidencePlane:
                 # effective-delivery ledger balances.
                 self._expired.add(entry.key)
                 counters.entries_expired += 1
+                if self._audit is not None:
+                    self._audit.on_expired(entry.key)
             if self._policy.journaling:
                 self.journal_for(origin_id).add(entry)
         return entry
@@ -581,6 +667,7 @@ class EvidencePlane:
     def _apply_entry(self, entry: EvidenceEntry, now: float) -> None:
         """Apply a fresh entry to its destination, exactly once."""
         applied = False
+        complaint = None
         if entry.kind == "evidence":
             peer = self._peers.get(entry.recipient_id)
             if peer is not None:
@@ -589,6 +676,7 @@ class EvidencePlane:
         elif entry.kind == "complaint":
             filer, accused_id, timestamp = entry.payload
             filer.reputation.file_complaint(accused_id, timestamp=timestamp)
+            complaint = (filer.peer_id, accused_id, float(timestamp))
             applied = True
         if not applied:
             return
@@ -597,9 +685,23 @@ class EvidencePlane:
         self._applied.add(entry.key)
         counters.entries_applied += 1
         counters.convergence_lags.append(now - entry.emitted_at)
+        if self._audit is not None:
+            if entry.kind == "evidence":
+                units = len(entry.payload)
+                derived = _derived_complaints(
+                    entry.recipient_id, entry.payload
+                )
+            else:
+                units, derived = 1, ()
+            self._audit.on_applied(
+                entry.key, entry.kind, entry.recipient_id, units,
+                complaint=complaint, derived_complaints=derived,
+            )
         if entry.key in self._expired:
             # A copy outran the write-off (e.g. it was in flight while its
             # origin churned): reconcile the ledger.
             self._expired.remove(entry.key)
             counters.entries_expired -= 1
+            if self._audit is not None:
+                self._audit.on_unexpired(entry.key)
         self._unapplied.get(entry.recipient_id, set()).discard(entry.key)

@@ -194,6 +194,32 @@ class NetworkCounters:
         """95th-percentile ticks from evidence emission to final application."""
         return self._lag_quantile(0.95)
 
+    def metrics_view(self) -> Dict[str, float]:
+        """The counters as a flat dict for a telemetry-registry view.
+
+        This object stays the authoritative state; the registry reads it
+        at snapshot time.  Everything here is simulation-time accounting
+        (no wall clocks), so it belongs in the deterministic ``metrics``
+        section of a snapshot.
+        """
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "undeliverable": self.undeliverable,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "repair_messages": self.repair_messages,
+            "entries_emitted": self.entries_emitted,
+            "entries_applied": self.entries_applied,
+            "entries_expired": self.entries_expired,
+            "missing_entries": self.missing_entries,
+            "delivery_ratio": round(self.delivery_ratio, 6),
+            "effective_delivery_ratio": round(self.effective_delivery_ratio, 6),
+            "mean_latency": round(self.mean_latency, 6),
+            "convergence_lag_p50": self.convergence_lag_p50,
+            "convergence_lag_p95": self.convergence_lag_p95,
+        }
+
 
 class SimulatedNetwork:
     """Delivers messages between registered handlers with latency and loss.

@@ -165,6 +165,10 @@ class EvidenceJournal:
     def get(self, key: Tuple[str, int]) -> EvidenceEntry:
         return self._entries[key]
 
+    def keys(self) -> Tuple[Tuple[str, int], ...]:
+        """Every ``(origin, seq)`` key this journal holds (insertion order)."""
+        return tuple(self._entries)
+
     def add(self, entry: EvidenceEntry) -> bool:
         """Store an entry; returns ``False`` when it was already journaled."""
         tracker = self._trackers.get(entry.origin_id)

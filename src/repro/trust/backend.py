@@ -70,6 +70,7 @@ from typing import (
 import numpy as np
 
 from repro.exceptions import TrustModelError
+from repro.obs.metrics import NULL_REGISTRY
 from repro.trust import storage
 from repro.trust.aggregation import (
     SparseWitnessMatrix,
@@ -408,6 +409,55 @@ class TrustBackend:
     def describe(self) -> str:
         return self.name
 
+    # -- observability ---------------------------------------------------
+    #: Telemetry registry the backend reports through.  The shared null
+    #: registry is a class attribute, so unbound backends pay one attribute
+    #: lookup and a false ``enabled`` check — nothing else.
+    telemetry = NULL_REGISTRY
+
+    def bind_telemetry(self, registry) -> None:
+        """Route this backend's hot-path metrics through ``registry``."""
+        self.telemetry = registry
+
+    def _record_update(self, units: int) -> None:
+        """Tally one ``update_many`` batch (size histogram + call count)."""
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("backend.{}.update_batches".format(self.name))
+            telemetry.observe("backend.{}.update_batch_size".format(self.name), units)
+
+    def _record_query(self, units: int) -> None:
+        """Tally one ``scores_for`` query (size histogram + call count)."""
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.count("backend.{}.score_queries".format(self.name))
+            telemetry.observe("backend.{}.score_query_size".format(self.name), units)
+
+    def describe_config(self) -> str:
+        """The full effective configuration as one canonical line.
+
+        Reports kind, sharding, router, rebalance, storage layout, score
+        cache, worker placement, and recovery — the single source the run
+        summary prints instead of re-deriving the line from CLI flags.
+        Layered backends (sharded, worker-hosted) override
+        :meth:`_config_parts` to fill in their placement.
+        """
+        return ", ".join(self._config_parts())
+
+    def _config_parts(self) -> List[str]:
+        def flag(value: bool) -> str:
+            return "on" if value else "off"
+
+        return [
+            self.name,
+            "unsharded",
+            "rebalance off",
+            "compact " + flag(bool(getattr(self, "compact", False))),
+            "cache-scores " + flag(bool(getattr(self, "_cache_scores", True))),
+            "workers 0",
+            "recovery off",
+        ]
+
 
 class BetaTrustBackend(TrustBackend):
     """Vectorized beta-Bernoulli trust (no decay).
@@ -478,6 +528,7 @@ class BetaTrustBackend(TrustBackend):
     def update_many(self, observations: Sequence[TrustObservation]) -> None:
         if not observations:
             return
+        self._record_update(len(observations))
         idx = self._index.intern_many([o.subject_id for o in observations])
         self._ensure_capacity()
         weights = np.fromiter(
@@ -512,6 +563,7 @@ class BetaTrustBackend(TrustBackend):
     def scores_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> np.ndarray:
+        self._record_query(len(subject_ids))
         if self._cache_scores:
             rows = self._index.lookup_many(subject_ids)
             return _scores_via_cache(
@@ -678,6 +730,7 @@ class DecayTrustBackend(TrustBackend):
     def update_many(self, observations: Sequence[TrustObservation]) -> None:
         if not observations:
             return
+        self._record_update(len(observations))
         n = len(observations)
         idx = self._index.intern_many([o.subject_id for o in observations])
         self._ensure_capacity()
@@ -736,6 +789,7 @@ class DecayTrustBackend(TrustBackend):
     def scores_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> np.ndarray:
+        self._record_query(len(subject_ids))
         if self._cache_scores:
             # Decayed scores are a function of (row evidence, now): a new
             # query time invalidates every cached entry at once by bumping
@@ -949,6 +1003,7 @@ class ComplaintTrustBackend(TrustBackend):
 
     # -- writes ----------------------------------------------------------
     def update_many(self, observations: Sequence[TrustObservation]) -> None:
+        self._record_update(len(observations))
         complaints = [
             Complaint(
                 complainant_id=o.observer_id,
@@ -1156,6 +1211,7 @@ class ComplaintTrustBackend(TrustBackend):
     def scores_for(
         self, subject_ids: Sequence[str], now: Optional[float] = None
     ) -> np.ndarray:
+        self._record_query(len(subject_ids))
         return self._scores_from_metrics(self.metrics_for(subject_ids))
 
     def witness_metrics_for(

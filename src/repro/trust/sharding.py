@@ -603,7 +603,12 @@ class ShardedBackend(TrustBackend):
         """
         params = dict(self._shard_params)
         params.update(overrides)
-        return create_backend(self._kind, **params)
+        shard = create_backend(self._kind, **params)
+        if self.telemetry.enabled:
+            # Shards minted after bind_telemetry (splits, re-shards) report
+            # through the same registry as the initial fleet.
+            shard.bind_telemetry(self.telemetry)
+        return shard
 
     def _detect_complaint_family(self) -> bool:
         """Whether the inner shards are complaint-family backends."""
@@ -677,6 +682,53 @@ class ShardedBackend(TrustBackend):
             f"sharded({len(self._shards)}x{self._kind}, "
             f"{self._router.name}{suffix})"
         )
+
+    def _config_parts(self) -> List[str]:
+        def flag(value: object) -> str:
+            return "on" if value else "off"
+
+        rebalance = "rebalance off"
+        if self._rebalance is not None:
+            rebalance = "rebalance auto@{:g} (max {})".format(
+                self._rebalance.threshold, self._rebalance.max_shards
+            )
+        return [
+            self._kind,
+            "{} shards, {} router".format(len(self._shards), self._router.name),
+            rebalance,
+            "compact " + flag(self._shard_params.get("compact", False)),
+            "cache-scores " + flag(self._shard_params.get("cache_scores", True)),
+            "workers 0",
+            "recovery off",
+        ]
+
+    def bind_telemetry(self, registry) -> None:
+        """Bind the wrapper and every current shard to ``registry``.
+
+        Registers a view over the existing rebalance / scatter tallies
+        (the attributes stay authoritative) so one snapshot reports shard
+        count, per-shard routed volumes and split pauses.
+        """
+        super().bind_telemetry(registry)
+        for shard in self._shards:
+            shard.bind_telemetry(registry)
+        if registry.enabled:
+            registry.add_view("sharded", self._telemetry_view)
+
+    def _telemetry_view(self) -> Dict[str, object]:
+        view: Dict[str, object] = {
+            "shards": len(self._shards),
+            "write_batches": self._writes,
+            "rebalance_splits": len(self._rebalance_events),
+            "rebalance_rows_moved": sum(
+                event.rows_moved for event in self._rebalance_events
+            ),
+            # Routed through the timings section (monotonic clock).
+            "split_pause_seconds": self._split_seconds,
+        }
+        for index, count in enumerate(self._shard_updates):
+            view["shard_updates.{:04d}".format(index)] = count
+        return view
 
     def shard_index_of(self, peer_id: str) -> int:
         """Home shard index of ``peer_id`` (memoised routing)."""
@@ -778,10 +830,16 @@ class ShardedBackend(TrustBackend):
                         filer_bucket = buckets[filer_home] = []
                     filer_bucket.append(observation)
         self._writes += 1
-        for index, bucket in enumerate(buckets):
-            if bucket is not None:
-                self._shard_updates[index] += len(bucket)
-                self._shards[index].update_many(bucket)
+        telemetry = self.telemetry
+        with telemetry.span("sharded.update_many"):
+            fanout = 0
+            for index, bucket in enumerate(buckets):
+                if bucket is not None:
+                    fanout += 1
+                    self._shard_updates[index] += len(bucket)
+                    self._shards[index].update_many(bucket)
+            if telemetry.enabled:
+                telemetry.observe("sharded.update_fanout", fanout)
         self._maybe_rebalance()
 
     def record_complaints(self, complaints: Sequence[Complaint]) -> None:
@@ -1048,18 +1106,23 @@ class ShardedBackend(TrustBackend):
         out = np.zeros(len(subject_ids))
         if not len(subject_ids):
             return out
-        if self._complaint_family:
-            reference = self.reference_metric()
-            for index, positions, subjects in self._partition(subject_ids):
-                shard = self._shards[index]
-                metrics = shard.metrics_for(subjects)  # type: ignore[attr-defined]
-                out[positions] = shard.scores_from_metrics(  # type: ignore[attr-defined]
-                    metrics, reference
-                )
+        telemetry = self.telemetry
+        with telemetry.span("sharded.scores_for"):
+            groups = self._partition(subject_ids)
+            if telemetry.enabled:
+                telemetry.observe("sharded.query_fanout", len(groups))
+            if self._complaint_family:
+                reference = self.reference_metric()
+                for index, positions, subjects in groups:
+                    shard = self._shards[index]
+                    metrics = shard.metrics_for(subjects)  # type: ignore[attr-defined]
+                    out[positions] = shard.scores_from_metrics(  # type: ignore[attr-defined]
+                        metrics, reference
+                    )
+                return out
+            for index, positions, subjects in groups:
+                out[positions] = self._shards[index].scores_for(subjects, now=now)
             return out
-        for index, positions, subjects in self._partition(subject_ids):
-            out[positions] = self._shards[index].scores_for(subjects, now=now)
-        return out
 
     def trust_decisions(
         self,

@@ -44,7 +44,9 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import threading
+import time
 import weakref
+from collections import deque
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -284,11 +286,13 @@ _COMPOSITES = {
 }
 
 
-def _apply_write(backend: TrustBackend, method: str, payload: Tuple) -> None:
+def _apply_write(backend: TrustBackend, method: str, payload: Tuple) -> int:
     decoder = _WRITE_DECODERS.get(method)
     if decoder is None:
         raise TrustModelError(f"unknown worker write op {method!r}")
-    getattr(backend, method)(decoder(payload))
+    batch = decoder(payload)
+    getattr(backend, method)(batch)
+    return len(batch)
 
 
 def _dispatch(backend: TrustBackend, method: str, args: Tuple) -> Any:
@@ -323,6 +327,14 @@ def _worker_main(transport: ShardTransport, kind: str, params: Dict[str, Any]) -
         meta["tolerance_factor"] = backend.tolerance_factor  # type: ignore[attr-defined]
         meta["metric_mode"] = backend.metric_mode  # type: ignore[attr-defined]
     pending_error: Optional[Exception] = None
+    # Worker-local op tallies shipped to the parent on demand via the
+    # ``__stats__`` pseudo-call (see WorkerShardedBackend.worker_stats).
+    stats: Dict[str, int] = {
+        "writes": 0,
+        "write_units": 0,
+        "calls": 0,
+        "snapshots": 0,
+    }
     try:
         transport.send(("ready", meta))
         while True:
@@ -334,14 +346,25 @@ def _worker_main(transport: ShardTransport, kind: str, params: Dict[str, Any]) -
             if op == "write":
                 if pending_error is None:
                     try:
-                        _apply_write(backend, message[1], message[2])
+                        units = _apply_write(backend, message[1], message[2])
                     except Exception as exc:
                         pending_error = exc
+                    else:
+                        stats["writes"] += 1
+                        stats["write_units"] += units
             elif op == "call":
+                if message[1] == "__stats__":
+                    # Telemetry probe: must not consume a held write error
+                    # (the error belongs to the next *real* call).
+                    payload = dict(stats)
+                    payload["pending_error"] = 1 if pending_error else 0
+                    transport.send(("ok", payload))
+                    continue
                 if pending_error is not None:
                     error, pending_error = pending_error, None
                     transport.send(("err", error))
                     continue
+                stats["calls"] += 1
                 try:
                     result = _dispatch(backend, message[1], message[2])
                 except Exception as exc:
@@ -349,6 +372,7 @@ def _worker_main(transport: ShardTransport, kind: str, params: Dict[str, Any]) -
                 else:
                     transport.send(("ok", result))
             elif op == "snap":
+                stats["snapshots"] += 1
                 try:
                     for key, value in backend.snapshot_items():
                         transport.send(("item", key, value))
@@ -416,6 +440,9 @@ class WorkerShardProxy(TrustBackend):
         self.spawn_params = spawn_params
         self.dead = False
         self.restrict_filter: Optional[HomeRowFilter] = None
+        # Telemetry only: perf_counter stamps of outstanding ask()s, FIFO
+        # with the reply channel.  Empty whenever telemetry is off.
+        self._pending: "deque[float]" = deque()
         # Recovery bookkeeping (populated only when journaling is on): the
         # journal holds every write batch ever routed here, ``applied``
         # tracks which of them the live worker has provably received, and
@@ -493,10 +520,23 @@ class WorkerShardProxy(TrustBackend):
     def ask(self, method: str, *args: Any) -> None:
         """Send a request without waiting (phase one of a parallel gather)."""
         self._send(("call", method, args))
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            self._pending.append(time.perf_counter())
+            telemetry.count("worker.rpc.calls")
+            telemetry.gauge_max(
+                "worker.rpc.in_flight_max." + self.label, len(self._pending)
+            )
 
     def result(self) -> Any:
         """Collect the reply of the oldest outstanding :meth:`ask`."""
         reply = self._recv()
+        if self._pending:
+            started = self._pending.popleft()
+            self.telemetry.observe_seconds(
+                "worker.rpc.round_trip." + self.label,
+                time.perf_counter() - started,
+            )
         tag = reply[0]
         if tag == "ok":
             return reply[1]
@@ -775,6 +815,8 @@ class WorkerShardedBackend(ShardedBackend):
         self._transport_kind = transport
         self._recovery = bool(recovery)
         self._spawn_counter = itertools.count()
+        self._last_worker_stats: Dict[str, Dict[str, int]] = {}
+        self._healed_total = 0
         self._proxy_registry: List[WorkerShardProxy] = []
         self._finalizer = weakref.finalize(
             self, _stop_proxies, self._proxy_registry
@@ -806,6 +848,8 @@ class WorkerShardedBackend(ShardedBackend):
         params.update(overrides)
         label = f"worker-{next(self._spawn_counter):04d}"
         proxy = self._spawn(label, params)
+        if self.telemetry.enabled:
+            proxy.bind_telemetry(self.telemetry)
         self._proxy_registry.append(proxy)
         return proxy
 
@@ -882,10 +926,72 @@ class WorkerShardedBackend(ShardedBackend):
         Also surfaces any held worker-side write error.  Benchmarks (and
         anything timing the write path) must flush before reading the
         clock — the scatter itself returns before the workers finish.
+        Under telemetry the barrier doubles as the stats ship-back point:
+        each flush refreshes the parent-side cache of worker op tallies.
         """
         self._scatter_gather(
             [(shard, "ping", ()) for shard in self._shards]
         )
+        if self.telemetry.enabled:
+            self._last_worker_stats = self.worker_stats()
+
+    def worker_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-worker op tallies fetched over the transport (live workers).
+
+        Each worker counts writes, write units, synchronous calls, and
+        snapshot streams on its side of the pipe; the ``__stats__``
+        pseudo-call ships them back without perturbing held write errors.
+        Dead workers are skipped (their last shipped tallies survive in
+        the telemetry cache refreshed by :meth:`flush`).
+        """
+        stats: Dict[str, Dict[str, int]] = {}
+        for proxy in self._shards:
+            if not proxy.alive():  # type: ignore[attr-defined]
+                continue
+            try:
+                stats[proxy.label] = dict(  # type: ignore[attr-defined]
+                    proxy.call("__stats__")  # type: ignore[attr-defined]
+                )
+            except (WorkerCrashError, TrustModelError):
+                continue
+        return stats
+
+    def bind_telemetry(self, registry: Any) -> None:
+        super().bind_telemetry(registry)
+        if registry.enabled:
+            registry.add_view("worker", self._worker_view)
+
+    def _worker_view(self) -> Dict[str, float]:
+        """Registry view: fleet shape plus the last shipped worker tallies."""
+        view: Dict[str, float] = {
+            "workers": len(self._shards),
+            "healed_workers": self._healed_total,
+        }
+        for label, stats in sorted(self._last_worker_stats.items()):
+            for key, value in stats.items():
+                view[label + "." + key] = value
+        if self._recovery:
+            view["journal_entries"] = sum(
+                len(proxy.journal)  # type: ignore[attr-defined]
+                for proxy in self._shards
+            )
+            view["journal_applied"] = sum(
+                len(proxy.applied)  # type: ignore[attr-defined]
+                for proxy in self._shards
+            )
+        return view
+
+    def _config_parts(self) -> List[str]:
+        parts = [
+            part
+            for part in super()._config_parts()
+            if part not in ("workers 0", "recovery off")
+        ]
+        parts.append(
+            f"workers {len(self._shards)} ({self._transport_kind})"
+        )
+        parts.append("recovery " + ("on" if self._recovery else "off"))
+        return parts
 
     # ------------------------------------------------------------------
     # Parallel scatter/gather plumbing
@@ -1179,11 +1285,14 @@ class WorkerShardedBackend(ShardedBackend):
         if healed:
             self._shards = tuple(shards)
             self._writes += 1  # replayed evidence invalidates cached references
+            self._healed_total += len(healed)
             self._reap()
         return healed
 
     def _respawn_from(self, proxy: WorkerShardProxy) -> WorkerShardProxy:
         replacement = self._spawn(proxy.label, dict(proxy.spawn_params))
+        if self.telemetry.enabled:
+            replacement.bind_telemetry(self.telemetry)
         self._proxy_registry.append(replacement)
         if proxy.restrict_filter is not None:
             replacement.restrict_rows(proxy.restrict_filter)

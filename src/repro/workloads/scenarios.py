@@ -108,6 +108,7 @@ def build_scenario(
     compact: bool = False,
     cache_scores: bool = True,
     workers: int = 0,
+    telemetry: Optional[object] = None,
 ) -> ScenarioSpec:
     """Construct one of the named scenarios.
 
@@ -170,6 +171,10 @@ def build_scenario(
     ``max(shards, workers)`` ways and scores stay bit-identical to the
     in-process run.  Per-peer private backends stay in-process — one
     worker fleet per peer would oversubscribe any machine.
+    ``telemetry`` binds a :class:`repro.obs.MetricsRegistry` to the shared
+    complaint store and the community run (``None`` keeps the zero-cost
+    null recorder); telemetry is purely observational and never changes a
+    result.
     """
     if name not in SCENARIO_NAMES:
         raise WorkloadError(
@@ -217,6 +222,8 @@ def build_scenario(
         cache_scores=cache_scores,
         workers=workers > 0,
     )
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        shared_store.bind_telemetry(telemetry)
     churn: Optional[ChurnModel] = None
     factory: Optional[Callable[[int], CommunityPeer]] = None
 
@@ -523,6 +530,7 @@ def build_scenario(
         rebalance=rebalance,
         rebalance_threshold=rebalance_threshold,
         max_shards=max_shards,
+        telemetry=telemetry,
     )
     peers = build_population(
         spec,

@@ -1,0 +1,212 @@
+"""Unit tests for the audit trail and reconciliation (:mod:`repro.obs.audit`)."""
+
+from types import SimpleNamespace
+
+from repro.obs.audit import AuditReport, EvidenceAuditTrail, reconcile
+
+
+def _counters(emitted=0, applied=0, expired=0):
+    return SimpleNamespace(
+        entries_emitted=emitted,
+        entries_applied=applied,
+        entries_expired=expired,
+    )
+
+
+def _clean_trail():
+    """One applied evidence entry, one applied complaint, one expired key."""
+    trail = EvidenceAuditTrail()
+    trail.on_emitted(("alice", 1), "evidence", "bob", 3)
+    trail.on_applied(
+        ("alice", 1),
+        "evidence",
+        "bob",
+        3,
+        derived_complaints=[("bob", "mallory", 2.0)],
+    )
+    trail.on_emitted(("carol", 1), "complaint", "__complaint-sink__", 1)
+    trail.on_applied(
+        ("carol", 1),
+        "complaint",
+        "__complaint-sink__",
+        1,
+        complaint=("carol", "mallory", 4.0),
+    )
+    trail.on_emitted(("dave", 1), "evidence", "gone", 2)
+    trail.on_expired(("dave", 1))
+    return trail
+
+
+CLEAN_STORE = [("bob", "mallory", 2.0), ("carol", "mallory", 4.0)]
+
+
+class TestTrail:
+    def test_sync_applications_have_no_key(self):
+        trail = EvidenceAuditTrail()
+        trail.on_applied(None, "evidence", "bob", 2)
+        assert trail.sync_applications == 1
+        assert trail.applied_counts == {}
+        assert trail.record_units == {"bob": 2}
+
+    def test_derived_complaints_join_the_filing_multiset(self):
+        trail = _clean_trail()
+        assert sorted(trail.complaints) == sorted(CLEAN_STORE)
+
+    def test_unexpire_reverses_a_write_off(self):
+        trail = EvidenceAuditTrail()
+        trail.on_expired(("x", 1))
+        trail.on_unexpired(("x", 1))
+        assert trail.expired == set()
+
+    def test_metrics_view_totals(self):
+        trail = _clean_trail()
+        view = trail.metrics_view()
+        assert view["entries_emitted"] == 3
+        assert view["entries_applied"] == 2
+        assert view["entries_expired"] == 1
+        assert view["complaints_applied"] == 2
+
+
+class TestReconcileClean:
+    def test_balanced_run_passes_every_check(self):
+        trail = _clean_trail()
+        report = reconcile(
+            trail,
+            counters=_counters(emitted=3, applied=2, expired=1),
+            store_complaints=CLEAN_STORE,
+            journal_keys={"bob": {("alice", 1), ("dave", 1)}},
+            observation_totals={"bob": 3},
+            require_settled=True,
+        )
+        assert report.passed, report.divergences
+        assert report.metrics["missing_entries"] == 0
+        assert report.metrics["complaints_in_store"] == 2
+
+    def test_unapplied_entries_are_loss_metrics_not_divergence(self):
+        trail = EvidenceAuditTrail()
+        trail.on_emitted(("alice", 1), "evidence", "bob", 2)
+        report = reconcile(
+            trail, counters=_counters(emitted=1), require_settled=False
+        )
+        assert report.passed
+        assert report.metrics["missing_entries"] == 1
+
+
+class TestReconcileDivergences:
+    def test_double_apply_flagged(self):
+        trail = EvidenceAuditTrail()
+        trail.on_emitted(("alice", 1), "evidence", "bob", 1)
+        trail.on_applied(("alice", 1), "evidence", "bob", 1)
+        trail.on_applied(("alice", 1), "evidence", "bob", 1)
+        report = reconcile(trail)
+        assert not report.checks["plane_double_apply"]["ok"]
+
+    def test_unknown_apply_flagged(self):
+        trail = EvidenceAuditTrail()
+        trail.on_applied(("ghost", 9), "evidence", "bob", 1)
+        report = reconcile(trail)
+        assert not report.checks["plane_unknown_apply"]["ok"]
+
+    def test_ledger_drift_flagged(self):
+        report = reconcile(
+            _clean_trail(),
+            counters=_counters(emitted=5, applied=2, expired=1),
+            store_complaints=CLEAN_STORE,
+        )
+        assert not report.checks["ledger_consistency"]["ok"]
+
+    def test_store_extra_filing_flagged_with_shard(self):
+        report = reconcile(
+            _clean_trail(),
+            store_complaints=CLEAN_STORE + [("eve", "mallory", 9.0)],
+            shard_of=lambda peer_id: 1,
+        )
+        assert report.checks["complaint_store"]["value"] == 1
+        divergence = [
+            d for d in report.divergences if d["check"] == "complaint_store"
+        ][0]
+        assert divergence["peer"] == "mallory"
+        assert divergence["shard"] == 1
+        assert report.metrics["divergences_per_shard"] == {"1": 1}
+
+    def test_store_missing_filing_flagged(self):
+        report = reconcile(_clean_trail(), store_complaints=CLEAN_STORE[:1])
+        assert not report.checks["complaint_store"]["ok"]
+
+    def test_journal_coverage_only_enforced_when_settled(self):
+        trail = _clean_trail()
+        trail.on_emitted(("erin", 1), "evidence", "bob", 1)  # never applied
+        journals = {"bob": {("erin", 1)}}
+        lax = reconcile(
+            trail,
+            store_complaints=CLEAN_STORE,
+            journal_keys=journals,
+            require_settled=False,
+        )
+        assert lax.checks["journal_coverage"]["ok"]
+        strict = reconcile(
+            trail,
+            store_complaints=CLEAN_STORE,
+            journal_keys=journals,
+            require_settled=True,
+        )
+        assert not strict.checks["journal_coverage"]["ok"]
+
+    def test_journal_ignores_relayed_entries_the_plane_never_emitted(self):
+        trail = _clean_trail()
+        report = reconcile(
+            trail,
+            store_complaints=CLEAN_STORE,
+            journal_keys={"bob": {("outsider", 7)}},
+            require_settled=True,
+        )
+        assert report.checks["journal_coverage"]["ok"]
+
+    def test_backend_row_mismatch_flagged_per_peer(self):
+        report = reconcile(
+            _clean_trail(),
+            store_complaints=CLEAN_STORE,
+            observation_totals={"bob": 5},
+        )
+        assert not report.checks["backend_observations"]["ok"]
+        divergence = [
+            d
+            for d in report.divergences
+            if d["check"] == "backend_observations"
+        ][0]
+        assert divergence["peer"] == "bob"
+
+    def test_departed_peers_are_skipped_not_flagged(self):
+        trail = EvidenceAuditTrail()
+        trail.on_applied(None, "evidence", "churned", 4)
+        report = reconcile(trail, observation_totals={})
+        assert report.checks["backend_observations"]["ok"]
+
+
+class TestAuditReport:
+    def test_payload_matches_bench_json_shape(self):
+        report = reconcile(_clean_trail(), store_complaints=CLEAN_STORE)
+        payload = report.to_payload("audit-ebay")
+        assert payload["name"] == "audit-ebay"
+        assert payload["passed"] is True
+        assert set(payload["bars"]) == set(report.checks)
+        assert "divergences" in payload["metrics"]
+        assert "timestamp" not in payload
+
+    def test_render_names_the_verdict(self):
+        clean = reconcile(_clean_trail(), store_complaints=CLEAN_STORE)
+        assert "verdict: CLEAN" in clean.render()
+        dirty = reconcile(_clean_trail(), store_complaints=[])
+        assert "verdict: DIVERGED" in dirty.render()
+
+    def test_render_caps_listed_divergences(self):
+        divergences = [
+            {"check": "complaint_store", "peer": "p", "detail": str(index)}
+            for index in range(25)
+        ]
+        report = AuditReport(
+            {"complaint_store": {"value": 25, "limit": 0, "ok": False}},
+            divergences,
+            {},
+        )
+        assert "... 5 more divergences" in report.render()

@@ -1,0 +1,173 @@
+"""Telemetry wiring invariants: zero-cost `off`, and views == attributes.
+
+Two regression surfaces:
+
+* Enabling telemetry must be *invisible* to the simulation — byte-identical
+  outcomes for every registry scenario, because the registry only ever
+  observes (no RNG draws, no ordering changes).
+* Registry views re-home existing ad-hoc counters without migrating them:
+  the snapshot must agree exactly with the legacy attribute API.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.registry import build_registered_scenario
+from repro.workloads.scenarios import SCENARIO_NAMES
+
+
+def _fingerprint(name, telemetry, **params):
+    scenario = build_registered_scenario(name, telemetry=telemetry, **params)
+    result = scenario.simulation().run()
+    trust = {
+        peer.peer_id: sorted(peer.reputation.trust_snapshot().items())
+        for peer in scenario.peers
+    }
+    complaints = sorted(
+        (c.complainant_id, c.accused_id, float(c.timestamp))
+        for c in scenario.complaint_store.all_complaints()
+    )
+    return (
+        result.accounts.attempted,
+        result.accounts.completion_rate,
+        result.accounts.total_welfare,
+        trust,
+        complaints,
+    )
+
+
+class TestTelemetryOffIsBitIdentical:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_summary_registry_never_perturbs_a_run(self, name):
+        params = {"size": 8, "rounds": 3, "seed": 7}
+        baseline = _fingerprint(name, None, **params)
+        instrumented = _fingerprint(name, MetricsRegistry(), **params)
+        assert baseline == instrumented
+
+    def test_async_gossip_run_is_identical_too(self):
+        params = {
+            "size": 10,
+            "rounds": 3,
+            "seed": 8,
+            "evidence_mode": "async",
+            "evidence_loss": 0.05,
+            "evidence_repair": "gossip",
+        }
+        baseline = _fingerprint("partition-heal", None, **params)
+        instrumented = _fingerprint(
+            "partition-heal", MetricsRegistry(), **params
+        )
+        assert baseline == instrumented
+
+
+class TestViewsEqualLegacyAttributes:
+    def test_network_counters_view_matches_attributes(self):
+        registry = MetricsRegistry()
+        scenario = build_registered_scenario(
+            "ebay",
+            size=8,
+            rounds=3,
+            seed=1,
+            evidence_mode="async",
+            evidence_loss=0.05,
+            telemetry=registry,
+        )
+        simulation = scenario.simulation()
+        simulation.run()
+        counters = simulation.evidence_plane.counters
+        metrics = registry.snapshot()["metrics"]
+        for attribute in (
+            "sent",
+            "delivered",
+            "dropped",
+            "entries_emitted",
+            "entries_applied",
+            "entries_expired",
+            "duplicates_suppressed",
+            "repair_messages",
+        ):
+            assert metrics["evidence." + attribute] == getattr(
+                counters, attribute
+            )
+
+    def test_sharded_view_matches_rebalance_attributes(self):
+        registry = MetricsRegistry()
+        scenario = build_registered_scenario(
+            "flash-crowd",
+            size=12,
+            rounds=4,
+            seed=2,
+            shards=2,
+            rebalance="auto",
+            rebalance_threshold=1.2,
+            telemetry=registry,
+        )
+        scenario.simulation().run()
+        store = scenario.complaint_store
+        metrics = registry.snapshot()["metrics"]
+        timings = registry.snapshot()["timings"]
+        assert metrics["sharded.shards"] == store.num_shards
+        assert metrics["sharded.rebalance_splits"] == len(
+            store.rebalance_events
+        )
+        assert metrics["sharded.rebalance_rows_moved"] == sum(
+            event.rows_moved for event in store.rebalance_events
+        )
+        assert timings["sharded.split_pause_seconds"] == (
+            store.rebalance_seconds
+        )
+        for index, routed in enumerate(store.shard_update_counts):
+            key = "sharded.shard_updates.{:04d}".format(index)
+            assert metrics[key] == routed
+
+    def test_worker_view_reports_the_fleet(self):
+        registry = MetricsRegistry()
+        scenario = build_registered_scenario(
+            "ebay",
+            size=10,
+            rounds=3,
+            seed=3,
+            shards=2,
+            workers=2,
+            telemetry=registry,
+        )
+        store = scenario.complaint_store
+        try:
+            scenario.simulation().run()
+            store.flush()  # ships per-worker stats back over the transport
+            metrics = registry.snapshot()["metrics"]
+        finally:
+            store.close()
+        assert metrics["worker.workers"] == 2
+        per_worker = [
+            key
+            for key in metrics
+            if key.startswith("worker.") and key.endswith(".writes")
+        ]
+        assert len(per_worker) == 2
+        assert all(metrics[key] >= 0 for key in per_worker)
+        assert metrics["worker.rpc.calls"] > 0
+
+    def test_audit_trail_view_matches_ledger(self):
+        from repro.obs import EvidenceAuditTrail
+
+        registry = MetricsRegistry()
+        scenario = build_registered_scenario(
+            "ebay",
+            size=8,
+            rounds=3,
+            seed=4,
+            evidence_mode="async",
+            telemetry=registry,
+        )
+        simulation = scenario.simulation()
+        trail = EvidenceAuditTrail()
+        simulation.evidence_plane.attach_audit(trail)
+        registry.add_view("audit", trail.metrics_view)
+        simulation.run()
+        simulation.evidence_plane.drain(max_ticks=200)
+        counters = simulation.evidence_plane.counters
+        metrics = registry.snapshot()["metrics"]
+        assert metrics["audit.entries_emitted"] == counters.entries_emitted
+        assert metrics["audit.entries_applied"] == counters.entries_applied
+        assert metrics["audit.entries_expired"] == counters.entries_expired
