@@ -4,10 +4,24 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke
+.PHONY: test check typecheck bench bench-smoke
 
 test:
 	$(PY) -m pytest -x -q
+
+# Static contract analysis (repro check): determinism, wire-safety,
+# telemetry discipline, N+1 lint, exception hygiene and canonical dtypes
+# over src/repro/, gated against the committed (empty) baseline.  Exits
+# non-zero on any new finding; dependency-free, so it runs anywhere the
+# tests do.
+check:
+	$(PY) -m repro.cli check --baseline check_baseline.json
+
+# Strict mypy over repro.obs, repro.distributed and repro.trust.backend
+# (config in pyproject.toml).  Needs mypy: pip install -e .[dev] first.
+# CI runs this on the newest Python only.
+typecheck:
+	$(PY) -m mypy --config-file pyproject.toml
 
 # Full benchmark/experiment suite: regenerates every table and figure under
 # benchmarks/results/.

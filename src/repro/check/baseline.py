@@ -1,0 +1,90 @@
+"""Committed-baseline support: start strict without blocking the tree.
+
+A baseline file grandfathers a known set of findings so the gate can land
+while real fixes are queued: fingerprints are ``rule:path:message`` (line
+numbers deliberately excluded, so unrelated edits above a finding do not
+churn the file) with a count per fingerprint.  ``repro check`` subtracts
+the baseline before reporting; entries that no longer match anything are
+listed as *stale* so the file shrinks as debt is paid instead of rotting.
+
+The committed ``check_baseline.json`` at the repo root is empty — every
+violation the shipped rules found was either fixed or carries an inline
+justified allow-marker — but the mechanism stays, because the next rule
+added will not land that lucky.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.check.engine import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-independent identity of a finding for baseline matching."""
+    return "{}:{}:{}".format(finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into a fingerprint -> count map."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            "unsupported baseline version {!r} in {} (expected {})".format(
+                data.get("version"), path, BASELINE_VERSION
+            )
+        )
+    findings = data.get("findings", {})
+    if not isinstance(findings, dict):
+        raise ValueError("baseline 'findings' must be a fingerprint->count map")
+    return {str(key): int(value) for key, value in findings.items()}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Dict[str, int]:
+    """Write the current findings as the new baseline; returns the map."""
+    counts = Counter(fingerprint(finding) for finding in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return dict(counts)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int, List[str]]:
+    """Subtract baselined findings.
+
+    Returns ``(kept, baselined_count, stale_fingerprints)`` where *stale*
+    entries matched nothing this run (their debt has been paid and they
+    should be dropped from the committed file).
+    """
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = fingerprint(finding)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    stale = sorted(key for key, remaining in budget.items() if remaining > 0)
+    return kept, baselined, stale

@@ -1,0 +1,86 @@
+"""Rendering for ``repro check``: human text and machine JSON.
+
+The JSON shape follows the ``BENCH_*.json`` convention the repo's other
+machine-readable artifacts use — a deterministic payload (no timestamps,
+sorted keys) so CI can diff reports across commits and upload them
+alongside the benchmark results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.check.baseline import fingerprint
+from repro.check.engine import CheckResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: CheckResult, rule_summaries: Dict[str, str]) -> str:
+    """The terminal report: one ``path:line:col: RULE message`` per finding."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            "{}:{}:{}: {} {}".format(
+                finding.path,
+                finding.line,
+                finding.col,
+                finding.rule_id,
+                finding.message,
+            )
+        )
+    if result.findings:
+        lines.append("")
+        counts: Dict[str, int] = {}
+        for finding in result.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        for rule_id in sorted(counts):
+            summary = rule_summaries.get(rule_id, "")
+            lines.append(
+                "  {:<9} {:>4}  {}".format(rule_id, counts[rule_id], summary)
+            )
+    status = "FAIL" if result.findings else "OK"
+    lines.append(
+        "{}: {} finding(s) in {} file(s)"
+        " ({} suppressed, {} baselined)".format(
+            status,
+            len(result.findings),
+            result.files_checked,
+            result.suppressed,
+            result.baselined,
+        )
+    )
+    for stale in result.stale_baseline:
+        lines.append(
+            "note: stale baseline entry (fixed — drop it): {}".format(stale)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: CheckResult, rule_summaries: Dict[str, str]) -> str:
+    """Deterministic JSON report (``BENCH_*.json``-shaped)."""
+    payload: Dict[str, Any] = {
+        "tool": "repro-check",
+        "clean": result.clean,
+        "summary": {
+            "findings": len(result.findings),
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "stale_baseline": result.stale_baseline,
+        },
+        "rules": rule_summaries,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+                "fingerprint": fingerprint(finding),
+            }
+            for finding in result.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,75 @@
+"""DTYPE001 — canonical float64/int64 outside the compact-storage module.
+
+Snapshots are the interchange format of the whole system: compact and
+default layouts, different shard counts, in-process and worker-hosted
+backends all round-trip through the same canonical *flat float64/int64*
+manifest — that is what makes compact↔default and re-sharded restores
+exact.  The only module allowed to traffic in narrow dtypes is
+``trust/storage.py``, where the compact ``ChunkedArray`` layout lives
+and where widening back to canonical happens.  A ``float32`` literal
+anywhere else is either a snapshot path about to emit a non-canonical
+manifest or evidence math about to fork from the bit-identical baseline.
+
+Flagged outside ``repro.trust.storage``: ``np.float32`` / ``np.int32``
+(and 16-bit variants) attribute references, and ``dtype="float32"`` /
+``dtype="int32"`` string keywords.  The compact-layout *selection*
+branches in ``trust/backend.py`` (``np.float32 if compact else
+np.float64``) are the sanctioned exception and carry justified
+``# repro: allow(DTYPE001)`` markers — their snapshots still widen to
+canonical through the storage helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.engine import Finding, Rule, Source
+from repro.check.rules import dotted_name, module_aliases
+
+__all__ = ["CanonicalDtypeRule"]
+
+_NARROW = frozenset({"float32", "int32", "float16", "int16", "int8", "uint8"})
+
+
+class CanonicalDtypeRule(Rule):
+    rule_id = "DTYPE001"
+    summary = "narrow dtype literal outside trust/storage.py"
+
+    def applies_to(self, source: Source) -> bool:
+        if not source.in_package("repro"):
+            return False
+        return not source.in_package("repro.trust.storage", "repro.check")
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        aliases = module_aliases(source.tree)
+        numpy_names = {
+            local for local, module in aliases.items() if module == "numpy"
+        }
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _NARROW:
+                base = dotted_name(node.value)
+                if base in numpy_names or base == "numpy":
+                    yield self.finding(
+                        source,
+                        node,
+                        "narrow dtype {}.{} outside trust/storage.py; "
+                        "snapshot/evidence paths must stay canonical flat "
+                        "float64/int64 (compact layouts live in the "
+                        "storage module)".format(base, node.attr),
+                    )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "dtype"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value in _NARROW
+                    ):
+                        yield self.finding(
+                            source,
+                            keyword.value,
+                            "narrow dtype={!r} outside trust/storage.py; "
+                            "emit canonical float64/int64 arrays".format(
+                                keyword.value.value
+                            ),
+                        )

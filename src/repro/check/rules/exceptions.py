@@ -1,0 +1,94 @@
+"""EXC001 — no silent ``except Exception`` in worker/transport code.
+
+The worker protocol's whole error model is that failures *surface*: a
+worker-side write error is held and raised at the next synchronous call,
+a dead transport raises :class:`WorkerCrashError`, and crash recovery
+depends on the parent learning that a worker is gone.  A broad handler
+that swallows silently breaks every one of those paths — a scatter that
+"succeeds" against a dead worker is exactly how score divergence sneaks
+past the bit-identity tests.
+
+In ``repro.trust.workers``, ``repro.trust.sharding`` and
+``repro.distributed.*``, every ``except Exception`` / ``except
+BaseException`` / bare ``except`` handler must do at least one of:
+
+* re-raise (a ``raise`` anywhere in the handler body);
+* forward the exception — reference the bound name in a call or
+  assignment (sending it over the error channel, holding it as the
+  pending error, chaining it onto another raise);
+* carry a justified ``# repro: allow(EXC001)`` marker explaining why
+  dropping the error is correct there.
+
+Narrow handlers (``except (BrokenPipeError, EOFError, OSError)``) are
+out of scope — naming the expected failure set is the fix this rule
+pushes toward.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.engine import Finding, Rule, Source
+
+__all__ = ["ExceptionHygieneRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except
+        return True
+    if isinstance(handler.type, ast.Name) and handler.type.id in _BROAD:
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(
+            isinstance(element, ast.Name) and element.id in _BROAD
+            for element in handler.type.elts
+        )
+    return False
+
+
+def _handler_discharges(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or forwards the bound exception."""
+    bound = handler.name
+    for node in handler.body:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return True
+            if (
+                bound is not None
+                and isinstance(inner, ast.Name)
+                and inner.id == bound
+                and isinstance(inner.ctx, ast.Load)
+            ):
+                return True
+    return False
+
+
+class ExceptionHygieneRule(Rule):
+    rule_id = "EXC001"
+    summary = "broad except swallows errors in worker/transport code"
+
+    def applies_to(self, source: Source) -> bool:
+        return source.in_package(
+            "repro.trust.workers",
+            "repro.trust.sharding",
+            "repro.distributed",
+        )
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _handler_discharges(node):
+                continue
+            yield self.finding(
+                source,
+                node,
+                "broad except swallows the error silently; name the "
+                "expected exception types, re-raise, or forward it over "
+                "the worker error channel",
+            )

@@ -1,0 +1,115 @@
+"""TEL001 — telemetry discipline outside ``repro.obs``.
+
+``telemetry=off`` is architecturally free only while instrumented call
+sites stay cheap: one class-attribute ``NULL_REGISTRY`` lookup and a
+false ``enabled`` check.  Two patterns erode that and this rule bans
+both everywhere outside ``repro.obs``:
+
+* **Per-call metric-name construction** — an f-string, ``%`` /
+  ``.format`` call or ``+`` concatenation as the name argument of
+  ``count`` / ``observe`` / ``observe_seconds`` / ``gauge`` /
+  ``gauge_max`` / ``span`` builds a fresh string on every hot-loop
+  iteration (and defeats name interning in the registry dicts).
+  Precompute the name once (bind time, ``__init__``) and pass the
+  attribute.
+* **Direct ``MetricsRegistry()`` construction in library code** — the
+  registry is wired in exactly once, at the run boundary
+  (``create_registry`` from the CLI spec, ``bind_telemetry`` down the
+  stack).  A library module constructing its own registry silently
+  forks the telemetry stream and re-introduces per-instance cost when
+  telemetry is off.
+
+The rule keys on receiver names that look like a registry
+(``telemetry`` / ``registry`` / ``metrics`` in the attribute path) so
+ordinary ``list.count`` calls never match.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.engine import Finding, Rule, Source
+from repro.check.rules import dotted_name, from_imports
+
+__all__ = ["TelemetryRule"]
+
+_RECORDER_METHODS = frozenset(
+    {"count", "observe", "observe_seconds", "gauge", "gauge_max", "span"}
+)
+_RECEIVER_HINTS = ("telemetry", "registry", "metrics")
+
+
+def _registry_receiver(func: ast.Attribute) -> bool:
+    """Whether the call receiver is plausibly a metrics registry."""
+    name = dotted_name(func.value)
+    if name is None:
+        return False
+    tail = name.split(".")[-1].lower()
+    return any(hint in tail for hint in _RECEIVER_HINTS)
+
+
+def _dynamic_name(node: ast.AST) -> "str | None":
+    """Describe how a metric-name expression is built per call, if it is."""
+    if isinstance(node, ast.JoinedStr):
+        return "an f-string"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mod)):
+        if isinstance(node.op, ast.Mod):
+            return "a %-format expression"
+        return "a + concatenation"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "format"
+    ):
+        return "a .format() call"
+    return None
+
+
+class TelemetryRule(Rule):
+    rule_id = "TEL001"
+    summary = "telemetry discipline violation outside repro.obs"
+
+    def applies_to(self, source: Source) -> bool:
+        if not source.in_package("repro"):
+            return False
+        return not source.in_package("repro.obs", "repro.check")
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        imported = from_imports(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RECORDER_METHODS
+                and node.args
+                and _registry_receiver(func)
+            ):
+                how = _dynamic_name(node.args[0])
+                if how is not None:
+                    yield self.finding(
+                        source,
+                        node.args[0],
+                        "metric name for .{}() is built per call ({}); "
+                        "precompute the name once and pass the stored "
+                        "string".format(func.attr, how),
+                    )
+            target = dotted_name(func)
+            if target is None:
+                continue
+            resolved = imported.get(target, target)
+            if resolved.endswith("MetricsRegistry") and (
+                resolved == "MetricsRegistry"
+                or resolved.startswith("repro.obs")
+                or "." not in target
+            ):
+                yield self.finding(
+                    source,
+                    node,
+                    "library code constructs MetricsRegistry() directly; "
+                    "registries are wired at the run boundary via "
+                    "create_registry()/bind_telemetry() so telemetry=off "
+                    "stays free",
+                )

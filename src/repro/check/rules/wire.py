@@ -1,0 +1,191 @@
+"""WIRE001 — wire-registry classes must be statically pickle-safe.
+
+Everything crossing a :class:`~repro.distributed.transport.ShardTransport`
+is pickled (the loopback transport round-trips through pickle precisely
+so tests hit the same constraint as pipes), so a lambda, lock, open file,
+generator or module-local closure stored on a registered wire type is a
+guaranteed ``PicklingError`` — at scatter time, on a live worker fleet.
+The registry of wire types is explicit
+(:mod:`repro.check.wire_registry`); this rule checks each registered
+class where it is defined and flags registry drift (a listed class that
+no longer exists) so the list cannot rot.
+
+A class that defines ``__getstate__`` is checked on what
+``__getstate__`` returns instead of on its raw field assignments: that
+protocol is the author declaring the wire shape, and live unpicklable
+helpers (router caches, live handles) are legitimate as long as they are
+excluded from the pickled state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.check.engine import Finding, Rule, Source
+from repro.check.rules import dotted_name
+from repro.check.wire_registry import WIRE_TYPES
+
+__all__ = ["WireSafetyRule"]
+
+#: Constructors whose results never survive a pickle round trip.
+_FORBIDDEN_CALLS = {
+    "open": "an open file handle",
+    "threading.Lock": "a thread lock",
+    "threading.RLock": "a thread lock",
+    "threading.Condition": "a condition variable",
+    "threading.Event": "a thread event",
+    "threading.Semaphore": "a semaphore",
+    "threading.BoundedSemaphore": "a semaphore",
+    "threading.Barrier": "a thread barrier",
+    "threading.local": "thread-local storage",
+    "multiprocessing.Lock": "a process lock",
+    "multiprocessing.RLock": "a process lock",
+    "multiprocessing.Queue": "a multiprocessing queue",
+    "multiprocessing.Pipe": "a pipe endpoint",
+    "multiprocessing.Pool": "a process pool",
+    "socket.socket": "a socket",
+}
+
+
+class WireSafetyRule(Rule):
+    rule_id = "WIRE001"
+    summary = "unpicklable state on a registered wire type"
+
+    def __init__(self, registry: Optional[Dict[str, FrozenSet[str]]] = None):
+        self.registry = WIRE_TYPES if registry is None else registry
+
+    def applies_to(self, source: Source) -> bool:
+        return source.module in self.registry
+
+    def check(self, source: Source) -> Iterator[Finding]:
+        expected = set(self.registry[source.module])
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name in expected:
+                expected.discard(node.name)
+                yield from self._check_class(source, node)
+        for missing in sorted(expected):
+            yield Finding(
+                rule_id=self.rule_id,
+                path=source.relpath,
+                line=1,
+                col=0,
+                message=(
+                    "wire-registry drift: class {!r} is registered for this "
+                    "module but not defined here; update "
+                    "repro/check/wire_registry.py".format(missing)
+                ),
+            )
+
+    # -- per-class scan ---------------------------------------------------
+    def _check_class(
+        self, source: Source, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        getstate = self._method(cls, "__getstate__")
+        if getstate is not None:
+            yield from self._scan_values(
+                source, cls.name, self._return_values(getstate)
+            )
+            return
+        values: List[ast.AST] = []
+        local_funcs: List[str] = []
+        for node in cls.body:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                if node.value is not None:
+                    values.append(node.value)
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local_funcs = [
+                inner.name
+                for inner in ast.walk(method)
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and inner is not method
+            ]
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign):
+                    if any(self._is_self_attr(t) for t in node.targets):
+                        values.append(node.value)
+                        yield from self._check_closure(
+                            source, cls.name, node.value, local_funcs
+                        )
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if self._is_self_attr(node.target):
+                        values.append(node.value)
+                        yield from self._check_closure(
+                            source, cls.name, node.value, local_funcs
+                        )
+        yield from self._scan_values(source, cls.name, values)
+
+    @staticmethod
+    def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+        for node in cls.body:
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return node
+        return None
+
+    @staticmethod
+    def _return_values(func: ast.FunctionDef) -> List[ast.AST]:
+        return [
+            node.value
+            for node in ast.walk(func)
+            if isinstance(node, ast.Return) and node.value is not None
+        ]
+
+    @staticmethod
+    def _is_self_attr(target: ast.AST) -> bool:
+        return (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        )
+
+    def _check_closure(
+        self,
+        source: Source,
+        class_name: str,
+        value: ast.AST,
+        local_funcs: List[str],
+    ) -> Iterator[Finding]:
+        if isinstance(value, ast.Name) and value.id in local_funcs:
+            yield self.finding(
+                source,
+                value,
+                "wire type {!r} stores module-local function {!r}; nested "
+                "functions cannot be pickled — hoist it to module level or "
+                "store serialisable state instead".format(class_name, value.id),
+            )
+
+    def _scan_values(
+        self, source: Source, class_name: str, values: List[ast.AST]
+    ) -> Iterator[Finding]:
+        for value in values:
+            for node in ast.walk(value):
+                if isinstance(node, ast.Lambda):
+                    yield self.finding(
+                        source,
+                        node,
+                        "wire type {!r} stores a lambda; lambdas cannot be "
+                        "pickled across a ShardTransport — hoist to a "
+                        "module-level function".format(class_name),
+                    )
+                elif isinstance(node, ast.GeneratorExp):
+                    yield self.finding(
+                        source,
+                        node,
+                        "wire type {!r} stores a generator; generators "
+                        "cannot be pickled — materialise a tuple/list "
+                        "instead".format(class_name),
+                    )
+                elif isinstance(node, ast.Call):
+                    target = dotted_name(node.func)
+                    if target in _FORBIDDEN_CALLS:
+                        yield self.finding(
+                            source,
+                            node,
+                            "wire type {!r} stores {} ({}); it cannot cross "
+                            "a ShardTransport — exclude it via __getstate__ "
+                            "or rebuild it worker-side".format(
+                                class_name, _FORBIDDEN_CALLS[target], target
+                            ),
+                        )

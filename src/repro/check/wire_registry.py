@@ -1,0 +1,40 @@
+"""The explicit wire-type registry WIRE001 enforces.
+
+Every class listed here crosses a
+:class:`~repro.distributed.transport.ShardTransport` (pipe, pickling
+loopback, or the planned socket transport) as part of a worker-protocol
+message, so its persisted state must survive ``pickle.dumps`` /
+``pickle.loads`` on a process with no shared memory: no lambdas, locks,
+open files, generators or module-local closures in its fields.  The
+ROADMAP's remote-fleet direction makes this a correctness boundary — an
+unpicklable field takes a whole worker fleet down at the first scatter.
+
+Add a class here the moment it is first sent over a transport; WIRE001
+then checks it on every ``repro check`` run, and flags registry drift
+(a listed class that no longer exists) so the registry cannot rot.
+Classes that take explicit responsibility via ``__getstate__`` are
+checked on what ``__getstate__`` returns instead of on raw field
+assignments (that protocol *is* the author declaring the wire shape).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+__all__ = ["WIRE_TYPES"]
+
+#: dotted module -> class names whose instances cross a ShardTransport.
+WIRE_TYPES: Dict[str, FrozenSet[str]] = {
+    # The worker protocol's complaint row-restriction predicate: built from
+    # the router's serialised boundary state precisely because the
+    # in-process closure cannot cross a pipe.
+    "repro.trust.workers": frozenset({"HomeRowFilter"}),
+    # Evidence units shipped in write batches (columnar-packed, but the
+    # scalar types still cross inside snapshot/journal payloads).
+    "repro.trust.backend": frozenset({"TrustObservation"}),
+    "repro.trust.evidence": frozenset({"Complaint"}),
+    # Journal/backfill wire format for crash recovery.
+    "repro.simulation.repair": frozenset({"EvidenceEntry"}),
+    # Belief values returned by worker `belief` RPCs.
+    "repro.trust.beta": frozenset({"BetaBelief"}),
+}

@@ -1,6 +1,6 @@
 """Command-line interface for quick experiments.
 
-Six subcommands cover the common interactive uses of the library:
+Seven subcommands cover the common interactive uses of the library:
 
 ``repro plan``
     Plan a trust-aware exchange for an ad-hoc bundle given on the command
@@ -19,6 +19,12 @@ Six subcommands cover the common interactive uses of the library:
     the trail against the backends, the complaint store and the evidence
     journals; exits non-zero on divergence.  ``--inject`` plants a fault
     (double-apply or drop) to prove the audit detects it.
+``repro check``
+    Static contract analysis over the source tree (:mod:`repro.check`):
+    determinism, wire-safety, telemetry discipline, N+1 lint, exception
+    hygiene and canonical dtypes.  ``--rule`` narrows to one rule,
+    ``--format json`` emits the machine-readable report, ``--baseline``
+    subtracts grandfathered findings; exits non-zero on any new finding.
 ``repro scenario``
     Legacy spelling of ``run`` (positional scenario name, beta backend).
 ``repro tolerance``
@@ -35,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 from repro.baselines import (
@@ -52,6 +59,7 @@ from repro.core.planner import required_total_tolerance
 from repro.core.safety import rational_price_range
 from repro.core.trust_aware import plan_trust_aware_exchange
 from repro.core.safety import verify_sequence
+from repro.check.registry import RULE_IDS
 from repro.exceptions import ReproError
 from repro.marketplace import TrustAwareStrategy
 from repro.obs import (
@@ -187,6 +195,33 @@ def build_parser() -> argparse.ArgumentParser:
         "items", nargs="+", help="goods as name=supplier_cost:consumer_value"
     )
     tolerance_parser.add_argument("--price", type=float, default=None)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="static contract analysis: determinism, wire-safety, "
+        "telemetry discipline, N+1 lint, exception hygiene, dtypes",
+    )
+    check_parser.add_argument("--root", default=None, metavar="DIR",
+                              help="package tree to scan (default: the "
+                              "installed repro package source directory)")
+    check_parser.add_argument("--rule", action="append", default=None,
+                              metavar="ID", choices=sorted(RULE_IDS),
+                              help="restrict to one rule id (repeatable); "
+                              "choices: " + ", ".join(sorted(RULE_IDS)))
+    check_parser.add_argument("--format", choices=("text", "json"),
+                              default="text", dest="output_format",
+                              help="report format (default text; json is "
+                              "the deterministic BENCH-shaped payload)")
+    check_parser.add_argument("--baseline", default=None, metavar="PATH",
+                              help="baseline file of grandfathered "
+                              "findings to subtract before reporting")
+    check_parser.add_argument("--write-baseline", default=None,
+                              metavar="PATH",
+                              help="write the current findings to PATH as "
+                              "the new baseline and exit 0")
+    check_parser.add_argument("--output", default=None, metavar="PATH",
+                              help="also write the JSON report to PATH "
+                              "(CI artifact), regardless of --format")
     return parser
 
 
@@ -560,6 +595,55 @@ def _command_tolerance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        default_rules,
+        load_baseline,
+        render_json,
+        render_text,
+        rule_summaries,
+        run_check,
+        write_baseline,
+    )
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    if not root.exists():
+        print(f"error: scan root {root} does not exist", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+    result = run_check(
+        root, default_rules(), rule_filter=args.rule, baseline=baseline
+    )
+    if args.write_baseline is not None:
+        write_baseline(Path(args.write_baseline), result.findings)
+        print(
+            "baseline with {} finding(s) written to {}".format(
+                len(result.findings), args.write_baseline
+            )
+        )
+        return 0
+    summaries = rule_summaries()
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result, summaries))
+    if args.output_format == "json":
+        sys.stdout.write(render_json(result, summaries))
+    else:
+        sys.stdout.write(render_text(result, summaries))
+    return 0 if result.clean else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -575,6 +659,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(args)
         if args.command == "audit":
             return _command_audit(args)
+        if args.command == "check":
+            return _command_check(args)
         return _command_tolerance(args)
     except (ReproError, argparse.ArgumentTypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)

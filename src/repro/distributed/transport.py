@@ -75,7 +75,7 @@ class ShardTransport:
 class PipeTransport(ShardTransport):
     """A :class:`ShardTransport` over one end of a ``multiprocessing`` pipe."""
 
-    def __init__(self, connection: "Connection"):
+    def __init__(self, connection: "Connection") -> None:
         self._connection = connection
 
     def send(self, message: Any) -> None:
@@ -139,7 +139,7 @@ class LoopbackTransport(ShardTransport):
     loudly in-process too.
     """
 
-    def __init__(self, outbox: _Mailbox, inbox: _Mailbox):
+    def __init__(self, outbox: _Mailbox, inbox: _Mailbox) -> None:
         self._outbox = outbox
         self._inbox = inbox
 

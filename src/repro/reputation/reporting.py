@@ -140,7 +140,10 @@ def collect_witness_reports(
     later as the discount); missing entries default to full trust.  The
     subject itself and any ids in ``exclude`` are never asked.
     """
-    generator = rng if rng is not None else random.Random()
+    # A fixed-seed fallback keeps callers that omit ``rng`` reproducible
+    # (DET001): an unseeded Random() here silently broke same-seed runs
+    # whenever witness availability < 1.
+    generator = rng if rng is not None else random.Random(0)
     excluded = set(exclude or ())
     excluded.add(subject_id)
     trusts = witness_trusts or {}
@@ -185,7 +188,10 @@ def collect_witness_matrix(
     and its memory grows as W x S while the sparse one grows with the
     number of actual reports.
     """
-    generator = rng if rng is not None else random.Random()
+    # A fixed-seed fallback keeps callers that omit ``rng`` reproducible
+    # (DET001): an unseeded Random() here silently broke same-seed runs
+    # whenever witness availability < 1.
+    generator = rng if rng is not None else random.Random(0)
     excluded = set(exclude or ())
     trusts = witness_trusts or {}
     witness_ids: List[str] = []

@@ -70,7 +70,7 @@ from typing import (
 import numpy as np
 
 from repro.exceptions import TrustModelError
-from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.trust import storage
 from repro.trust.aggregation import (
     SparseWitnessMatrix,
@@ -415,23 +415,41 @@ class TrustBackend:
     #: lookup and a false ``enabled`` check — nothing else.
     telemetry = NULL_REGISTRY
 
-    def bind_telemetry(self, registry) -> None:
+    #: Hot-path metric names, precomputed once per instance on first use so
+    #: instrumented batches never build strings per call (TEL001).
+    _metric_names: Optional[Tuple[str, str, str, str]] = None
+
+    def bind_telemetry(self, registry: MetricsRegistry) -> None:
         """Route this backend's hot-path metrics through ``registry``."""
         self.telemetry = registry
+
+    def _bound_metric_names(self) -> Tuple[str, str, str, str]:
+        names = self._metric_names
+        if names is None:
+            prefix = "backend." + self.name
+            names = self._metric_names = (
+                prefix + ".update_batches",
+                prefix + ".update_batch_size",
+                prefix + ".score_queries",
+                prefix + ".score_query_size",
+            )
+        return names
 
     def _record_update(self, units: int) -> None:
         """Tally one ``update_many`` batch (size histogram + call count)."""
         telemetry = self.telemetry
         if telemetry.enabled:
-            telemetry.count("backend.{}.update_batches".format(self.name))
-            telemetry.observe("backend.{}.update_batch_size".format(self.name), units)
+            names = self._bound_metric_names()
+            telemetry.count(names[0])
+            telemetry.observe(names[1], units)
 
     def _record_query(self, units: int) -> None:
         """Tally one ``scores_for`` query (size histogram + call count)."""
         telemetry = self.telemetry
         if telemetry.enabled:
-            telemetry.count("backend.{}.score_queries".format(self.name))
-            telemetry.observe("backend.{}.score_query_size".format(self.name), units)
+            names = self._bound_metric_names()
+            telemetry.count(names[2])
+            telemetry.observe(names[3], units)
 
     def describe_config(self) -> str:
         """The full effective configuration as one canonical line.
@@ -488,15 +506,17 @@ class BetaTrustBackend(TrustBackend):
         prior_beta: float = 1.0,
         compact: bool = False,
         cache_scores: bool = True,
-    ):
+    ) -> None:
         if prior_alpha <= 0 or prior_beta <= 0:
             raise TrustModelError("priors must be positive")
         self._prior_alpha = prior_alpha
         self._prior_beta = prior_beta
         self._compact = bool(compact)
         self._cache_scores = bool(cache_scores)
-        self._evidence_dtype = np.float32 if compact else np.float64
-        self._count_dtype = np.int32 if compact else np.int64
+        # Compact-layout dtype *selection*: snapshots still widen to the
+        # canonical flat float64/int64 manifest via the storage helpers.
+        self._evidence_dtype = np.float32 if compact else np.float64  # repro: allow(DTYPE001) — compact layout selection, snapshots stay canonical
+        self._count_dtype = np.int32 if compact else np.int64  # repro: allow(DTYPE001) — compact layout selection, snapshots stay canonical
         self._index = _PeerIndex()
         self._alpha = storage.make_array(self._evidence_dtype, compact)
         self._beta = storage.make_array(self._evidence_dtype, compact)
@@ -684,7 +704,7 @@ class DecayTrustBackend(TrustBackend):
         half_life: float = 100.0,
         compact: bool = False,
         cache_scores: bool = True,
-    ):
+    ) -> None:
         if prior_alpha <= 0 or prior_beta <= 0:
             raise TrustModelError("priors must be positive")
         if half_life <= 0:
@@ -694,8 +714,10 @@ class DecayTrustBackend(TrustBackend):
         self._half_life = half_life
         self._compact = bool(compact)
         self._cache_scores = bool(cache_scores)
-        self._evidence_dtype = np.float32 if compact else np.float64
-        self._count_dtype = np.int32 if compact else np.int64
+        # Compact-layout dtype *selection*: snapshots still widen to the
+        # canonical flat float64/int64 manifest via the storage helpers.
+        self._evidence_dtype = np.float32 if compact else np.float64  # repro: allow(DTYPE001) — compact layout selection, snapshots stay canonical
+        self._count_dtype = np.int32 if compact else np.int64  # repro: allow(DTYPE001) — compact layout selection, snapshots stay canonical
         self._index = _PeerIndex()
         self._alpha = storage.make_array(self._evidence_dtype, compact)
         self._beta = storage.make_array(self._evidence_dtype, compact)
@@ -921,7 +943,7 @@ class ComplaintTrustBackend(TrustBackend):
         metric_mode: str = "product",
         compact: bool = False,
         cache_scores: bool = True,
-    ):
+    ) -> None:
         if tolerance_factor <= 0:
             raise TrustModelError(
                 f"tolerance_factor must be > 0, got {tolerance_factor}"
@@ -942,7 +964,7 @@ class ComplaintTrustBackend(TrustBackend):
         # float32 up to 2**24, so the compact layout loses no precision here.
         self._compact = bool(compact)
         self._cache_scores = bool(cache_scores)
-        self._count_dtype = np.float32 if compact else np.float64
+        self._count_dtype = np.float32 if compact else np.float64  # repro: allow(DTYPE001) — compact layout selection, snapshots stay canonical
         self._received = storage.make_array(self._count_dtype, compact)
         self._filed = storage.make_array(self._count_dtype, compact)
         self._in_store = storage.make_array(np.bool_, compact)
@@ -1029,11 +1051,11 @@ class ComplaintTrustBackend(TrustBackend):
             # dead work and syncing would trigger a full remote recount per
             # write).
             for complaint in complaints:
-                self._store.file_complaint(complaint)
+                self._store.file_complaint(complaint)  # repro: allow(PERF001) — ComplaintStore has no batch ingest; this loop implements record_complaints
             return
         self._sync()
         for complaint in complaints:
-            self._store.file_complaint(complaint)
+            self._store.file_complaint(complaint)  # repro: allow(PERF001) — ComplaintStore has no batch ingest; this loop implements record_complaints
         row_filter = self._row_filter
         accused_ids = [c.accused_id for c in complaints]
         filed_ids = [c.complainant_id for c in complaints]
@@ -1377,7 +1399,7 @@ class ComplaintTrustBackend(TrustBackend):
         for complainant, accused, timestamp in zip(
             state["complainants"], state["accused"], state["timestamps"]
         ):
-            store.file_complaint(
+            store.file_complaint(  # repro: allow(PERF001) — cold restore path re-filing the snapshot log into a fresh store
                 Complaint(
                     complainant_id=str(complainant),
                     accused_id=str(accused),
@@ -1401,7 +1423,7 @@ class ScalarBetaBackendAdapter(TrustBackend):
 
     name = "scalar-beta"
 
-    def __init__(self, model: Optional[BetaTrustModel] = None):
+    def __init__(self, model: Optional[BetaTrustModel] = None) -> None:
         self._model = model if model is not None else BetaTrustModel()
 
     @property
@@ -1457,7 +1479,7 @@ class ScalarBetaBackendAdapter(TrustBackend):
                 for row in range(matrix.shape[0])
             ]
             combined = combine_beta_evidence(
-                self._model.belief(subject_id, now=now), reports
+                self._model.belief(subject_id, now=now), reports  # repro: allow(PERF001) — scalar reference adapter; the batched backends are the fast path
             )
             scores[column] = combined.mean
         return scores

@@ -220,7 +220,7 @@ class ComplaintTrustModel:
         agents = list(self._store.known_agents())
         if not agents:
             return 0.0
-        metrics = [self.metric(self.counts(agent_id)) for agent_id in agents]
+        metrics = [self.metric(self.counts(agent_id)) for agent_id in agents]  # repro: allow(PERF001) — scalar store adapter; ComplaintTrustBackend.metrics_for is the batched path
         return float(statistics.median(metrics))
 
     def assess(self, agent_id: str) -> ComplaintAssessment:

@@ -910,7 +910,7 @@ class ShardedBackend(TrustBackend):
             raise TrustModelError(
                 f"live splits are not supported for backend kind {self._kind!r}"
             )
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: allow(DET001) — split-pause timing, reported via the telemetry timings section only
         state = self._shards[index].snapshot()
         saved_state = self._router.state()
         saved_shards = self._router.num_shards
@@ -945,7 +945,7 @@ class ShardedBackend(TrustBackend):
         self._shard_updates[index] = kept_updates
         self._shard_updates.append(updates - kept_updates)
         self._writes += 1
-        seconds = time.perf_counter() - started
+        seconds = time.perf_counter() - started  # repro: allow(DET001) — split-pause timing, reported via the telemetry timings section only
         self._split_seconds += seconds
         self._rebalance_events.append(
             RebalanceEvent(

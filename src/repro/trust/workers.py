@@ -45,6 +45,7 @@ import itertools
 import multiprocessing
 import threading
 import time
+import traceback
 import weakref
 from collections import deque
 from typing import (
@@ -53,6 +54,7 @@ from typing import (
     Dict,
     Iterator,
     List,
+    NoReturn,
     Optional,
     Sequence,
     Tuple,
@@ -117,6 +119,43 @@ __all__ = [
 WORKER_TRANSPORTS = ("process", "loopback")
 
 _EMPTY_DIGEST: Digest = (0, frozenset())
+
+
+class RemoteWorkerTraceback(Exception):
+    """Carrier for a worker-side traceback, chained onto re-raised errors.
+
+    Tracebacks do not survive pickling, so a worker error used to arrive
+    at the parent with its stack silently dropped.  The worker now stamps
+    the formatted traceback onto the exception before sending, and the
+    parent re-raises ``from`` this carrier so the worker-side stack shows
+    up in the chained report.
+    """
+
+    def __str__(self) -> str:
+        return "worker-side traceback:\n" + str(self.args[0])
+
+
+def _stamp_remote_traceback(exc: BaseException) -> BaseException:
+    """Attach the formatted traceback before the exception crosses the wire."""
+    try:
+        exc._remote_traceback = "".join(  # type: ignore[attr-defined]
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+    except (AttributeError, TypeError):  # slots-only or exotic exceptions
+        pass
+    return exc
+
+
+def _raise_remote(exc: BaseException) -> "NoReturn":
+    """Re-raise a worker-sent exception, chaining its remote traceback."""
+    remote = None
+    try:
+        remote = exc.__dict__.pop("_remote_traceback", None)
+    except AttributeError:  # no __dict__ (slots-only exception)
+        pass
+    if remote is not None:
+        raise exc from RemoteWorkerTraceback(remote)
+    raise exc
 
 
 class WorkerCrashError(TrustModelError):
@@ -200,7 +239,7 @@ def _pack_observations(
             -1 if o.files_complaint is None else int(o.files_complaint)
             for o in observations
         ),
-        dtype=np.int8,
+        dtype=np.int8,  # repro: allow(DTYPE001) — tri-state complaint flag wire encoding; unpacked to bool/None before any evidence math
         count=count,
     )
     return observers, subjects, honest, times, weights, filed
@@ -315,7 +354,7 @@ def _worker_main(transport: ShardTransport, kind: str, params: Dict[str, Any]) -
         backend = create_backend(kind, **params)
     except Exception as exc:  # constructor errors surface at the parent
         try:
-            transport.send(("err", exc))
+            transport.send(("err", _stamp_remote_traceback(exc)))
         except (BrokenPipeError, OSError):
             pass
         transport.close()
@@ -348,7 +387,7 @@ def _worker_main(transport: ShardTransport, kind: str, params: Dict[str, Any]) -
                     try:
                         units = _apply_write(backend, message[1], message[2])
                     except Exception as exc:
-                        pending_error = exc
+                        pending_error = _stamp_remote_traceback(exc)
                     else:
                         stats["writes"] += 1
                         stats["write_units"] += units
@@ -368,7 +407,7 @@ def _worker_main(transport: ShardTransport, kind: str, params: Dict[str, Any]) -
                 try:
                     result = _dispatch(backend, message[1], message[2])
                 except Exception as exc:
-                    transport.send(("err", exc))
+                    transport.send(("err", _stamp_remote_traceback(exc)))
                 else:
                     transport.send(("ok", result))
             elif op == "snap":
@@ -377,7 +416,7 @@ def _worker_main(transport: ShardTransport, kind: str, params: Dict[str, Any]) -
                     for key, value in backend.snapshot_items():
                         transport.send(("item", key, value))
                 except Exception as exc:
-                    transport.send(("err", exc))
+                    transport.send(("err", _stamp_remote_traceback(exc)))
                 transport.send(("end",))
             elif op == "stop":
                 transport.send(("bye",))
@@ -441,8 +480,12 @@ class WorkerShardProxy(TrustBackend):
         self.dead = False
         self.restrict_filter: Optional[HomeRowFilter] = None
         # Telemetry only: perf_counter stamps of outstanding ask()s, FIFO
-        # with the reply channel.  Empty whenever telemetry is off.
+        # with the reply channel.  Empty whenever telemetry is off.  The
+        # per-label metric names are precomputed here so the hot RPC path
+        # never builds strings per call (TEL001).
         self._pending: "deque[float]" = deque()
+        self._rpc_gauge_metric = "worker.rpc.in_flight_max." + label
+        self._rpc_span_metric = "worker.rpc.round_trip." + label
         # Recovery bookkeeping (populated only when journaling is on): the
         # journal holds every write batch ever routed here, ``applied``
         # tracks which of them the live worker has provably received, and
@@ -459,7 +502,7 @@ class WorkerShardProxy(TrustBackend):
         reply = self._recv()
         if reply[0] == "err":
             self.stop()
-            raise reply[1]
+            _raise_remote(reply[1])
         if reply[0] != "ready":
             self.stop()
             raise TrustModelError(
@@ -522,11 +565,9 @@ class WorkerShardProxy(TrustBackend):
         self._send(("call", method, args))
         telemetry = self.telemetry
         if telemetry.enabled:
-            self._pending.append(time.perf_counter())
+            self._pending.append(time.perf_counter())  # repro: allow(DET001) — RPC latency stamp, telemetry timings section only
             telemetry.count("worker.rpc.calls")
-            telemetry.gauge_max(
-                "worker.rpc.in_flight_max." + self.label, len(self._pending)
-            )
+            telemetry.gauge_max(self._rpc_gauge_metric, len(self._pending))
 
     def result(self) -> Any:
         """Collect the reply of the oldest outstanding :meth:`ask`."""
@@ -534,14 +575,14 @@ class WorkerShardProxy(TrustBackend):
         if self._pending:
             started = self._pending.popleft()
             self.telemetry.observe_seconds(
-                "worker.rpc.round_trip." + self.label,
-                time.perf_counter() - started,
+                self._rpc_span_metric,
+                time.perf_counter() - started,  # repro: allow(DET001) — RPC latency stamp, telemetry timings section only
             )
         tag = reply[0]
         if tag == "ok":
             return reply[1]
         if tag == "err":
-            raise reply[1]
+            _raise_remote(reply[1])
         raise TrustModelError(f"unexpected worker reply {tag!r}")
 
     def call(self, method: str, *args: Any) -> Any:
@@ -720,14 +761,18 @@ class WorkerShardProxy(TrustBackend):
                     finished = True
                     return
                 if tag == "err":
-                    raise reply[1]
+                    _raise_remote(reply[1])
                 yield reply[1], reply[2]
         finally:
             if not finished and not self.dead:
+                # Abandoned stream: drain to the end marker so the FIFO
+                # channel stays in sync for the next caller.  Only channel
+                # death is survivable here (EXC001) — the proxy is already
+                # marked dead by _recv, and any other error must surface.
                 try:
                     while self._recv()[0] != "end":
                         pass
-                except Exception:
+                except (WorkerCrashError, EOFError, OSError):
                     pass
 
     def snapshot(self) -> Dict[str, np.ndarray]:

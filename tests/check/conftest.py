@@ -1,0 +1,40 @@
+"""Fixture helpers for the ``repro check`` engine tests.
+
+Rule scopes are written against dotted module names (``repro.trust.*``),
+and the engine derives those names from the scanned package root — so a
+temporary tree whose root directory is a package named ``repro`` checks
+exactly like the real source tree.  ``make_tree`` builds one.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+def _write_tree(root: Path, files: dict) -> Path:
+    """Materialise ``files`` (relpath -> source) under a ``repro`` package."""
+    package = root / "repro"
+    package.mkdir(exist_ok=True)
+    (package / "__init__.py").write_text("")
+    for relpath, source in files.items():
+        path = package / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != package:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+    return package
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """``make_tree({"trust/foo.py": "..."}) -> scan root`` (a repro package)."""
+
+    def build(files: dict) -> Path:
+        return _write_tree(tmp_path, files)
+
+    return build

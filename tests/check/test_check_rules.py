@@ -1,0 +1,463 @@
+"""Per-rule fixtures: one flagging and one clean tree for every contract."""
+
+from repro.check import default_rules, run_check
+from repro.check.rules.determinism import DeterminismRule
+from repro.check.rules.dtype import CanonicalDtypeRule
+from repro.check.rules.exceptions import ExceptionHygieneRule
+from repro.check.rules.perf import NPlusOneRule
+from repro.check.rules.telemetry import TelemetryRule
+from repro.check.rules.wire import WireSafetyRule
+
+
+def rule_ids(result):
+    return sorted({finding.rule_id for finding in result.findings})
+
+
+# ---------------------------------------------------------------------------
+# DET001 — determinism
+# ---------------------------------------------------------------------------
+def test_det001_flags_every_entropy_family(make_tree):
+    root = make_tree(
+        {
+            "simulation/fixture.py": """\
+            import os
+            import random
+            import secrets
+            import time
+            import uuid
+            from datetime import datetime
+            import numpy as np
+
+            def bad():
+                a = time.time()
+                b = time.perf_counter()
+                c = os.urandom(8)
+                d = secrets.token_hex(4)
+                e = uuid.uuid4()
+                f = datetime.now()
+                g = random.random()
+                h = random.Random()
+                i = random.SystemRandom()
+                j = np.random.rand(3)
+                k = np.random.default_rng()
+                return a, b, c, d, e, f, g, h, i, j, k
+            """
+        }
+    )
+    result = run_check(root, [DeterminismRule()])
+    assert len(result.findings) == 11
+    assert rule_ids(result) == ["DET001"]
+
+
+def test_det001_clean_fixture(make_tree):
+    root = make_tree(
+        {
+            "simulation/fixture.py": """\
+            import random
+            import numpy as np
+
+            def good(rng, seed):
+                a = random.Random(42)
+                b = random.Random(seed)
+                c = np.random.default_rng(seed)
+                d = rng.random()  # a passed-in seeded generator is fine
+                return a, b, c, d
+            """
+        }
+    )
+    assert run_check(root, [DeterminismRule()]).clean
+
+
+def test_det001_resolves_import_aliases(make_tree):
+    root = make_tree(
+        {
+            "simulation/fixture.py": """\
+            import time as clock
+            from random import choice
+
+            def bad(options):
+                stamp = clock.time()
+                return stamp, choice(options)
+            """
+        }
+    )
+    result = run_check(root, [DeterminismRule()])
+    assert len(result.findings) == 2
+
+
+def test_det001_exempts_repro_obs(make_tree):
+    root = make_tree(
+        {
+            "obs/fixture.py": """\
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """
+        }
+    )
+    assert run_check(root, [DeterminismRule()]).clean
+
+
+# ---------------------------------------------------------------------------
+# WIRE001 — wire-safety (custom registry keeps fixtures self-contained)
+# ---------------------------------------------------------------------------
+WIRE_REGISTRY = {"repro.trust.messages": frozenset({"Request"})}
+
+
+def test_wire001_flags_unpicklable_fields(make_tree):
+    root = make_tree(
+        {
+            "trust/messages.py": """\
+            import threading
+
+            class Request:
+                def __init__(self, payload):
+                    self.payload = payload
+                    self.transform = lambda value: value + 1
+                    self.lock = threading.Lock()
+            """
+        }
+    )
+    result = run_check(root, [WireSafetyRule(registry=WIRE_REGISTRY)])
+    messages = sorted(finding.message for finding in result.findings)
+    assert len(messages) == 2
+    assert "lambda" in messages[0]
+    assert "thread lock" in messages[1]
+
+
+def test_wire001_flags_local_closure(make_tree):
+    root = make_tree(
+        {
+            "trust/messages.py": """\
+            class Request:
+                def __init__(self, base):
+                    def bump(value):
+                        return value + base
+
+                    self.transform = bump
+            """
+        }
+    )
+    result = run_check(root, [WireSafetyRule(registry=WIRE_REGISTRY)])
+    assert len(result.findings) == 1
+    assert "module-local function" in result.findings[0].message
+
+
+def test_wire001_getstate_declares_the_wire_shape(make_tree):
+    root = make_tree(
+        {
+            "trust/messages.py": """\
+            import threading
+
+            class Request:
+                def __init__(self, payload):
+                    self.payload = payload
+                    self._lock = threading.Lock()  # excluded from pickled state
+
+                def __getstate__(self):
+                    return {"payload": self.payload}
+
+                def __setstate__(self, state):
+                    self.payload = state["payload"]
+                    self._lock = threading.Lock()
+            """
+        }
+    )
+    assert run_check(root, [WireSafetyRule(registry=WIRE_REGISTRY)]).clean
+
+
+def test_wire001_flags_registry_drift(make_tree):
+    root = make_tree({"trust/messages.py": "class Other:\n    pass\n"})
+    result = run_check(root, [WireSafetyRule(registry=WIRE_REGISTRY)])
+    assert len(result.findings) == 1
+    assert "registry drift" in result.findings[0].message
+
+
+def test_wire001_clean_fixture(make_tree):
+    root = make_tree(
+        {
+            "trust/messages.py": """\
+            class Request:
+                def __init__(self, payload, tags):
+                    self.payload = payload
+                    self.tags = tuple(tags)
+            """
+        }
+    )
+    assert run_check(root, [WireSafetyRule(registry=WIRE_REGISTRY)]).clean
+
+
+# ---------------------------------------------------------------------------
+# TEL001 — telemetry discipline
+# ---------------------------------------------------------------------------
+def test_tel001_flags_per_call_metric_names(make_tree):
+    root = make_tree(
+        {
+            "trust/fixture.py": """\
+            class Backend:
+                def __init__(self, name, telemetry):
+                    self.name = name
+                    self.telemetry = telemetry
+
+                def update(self, rows):
+                    self.telemetry.count(f"backend.{self.name}.updates", rows)
+                    self.telemetry.observe("backend.%s.rows" % self.name, rows)
+                    self.telemetry.gauge("backend." + self.name + ".size", rows)
+                    self.telemetry.span("backend.{}.flush".format(self.name))
+            """
+        }
+    )
+    result = run_check(root, [TelemetryRule()])
+    assert len(result.findings) == 4
+    assert all("per call" in f.message for f in result.findings)
+
+
+def test_tel001_flags_direct_registry_construction(make_tree):
+    root = make_tree(
+        {
+            "trust/fixture.py": """\
+            from repro.obs.metrics import MetricsRegistry
+
+            def make_backend():
+                return MetricsRegistry(enabled=True)
+            """
+        }
+    )
+    result = run_check(root, [TelemetryRule()])
+    assert len(result.findings) == 1
+    assert "run boundary" in result.findings[0].message
+
+
+def test_tel001_clean_fixture(make_tree):
+    root = make_tree(
+        {
+            "trust/fixture.py": """\
+            class Backend:
+                def __init__(self, name, telemetry):
+                    self._updates_metric = "backend." + name + ".updates"
+                    self.telemetry = telemetry
+
+                def update(self, rows):
+                    self.telemetry.count(self._updates_metric, rows)
+
+            def tally(items, needle):
+                return items.count(needle)  # list.count is not telemetry
+            """
+        }
+    )
+    assert run_check(root, [TelemetryRule()]).clean
+
+
+def test_tel001_does_not_apply_inside_repro_obs(make_tree):
+    root = make_tree(
+        {
+            "obs/fixture.py": """\
+            class MetricsRegistry:
+                pass
+
+            def create_registry():
+                return MetricsRegistry()
+            """
+        }
+    )
+    assert run_check(root, [TelemetryRule()]).clean
+
+
+# ---------------------------------------------------------------------------
+# PERF001 — N+1 lint
+# ---------------------------------------------------------------------------
+def test_perf001_flags_scalar_calls_in_loops(make_tree):
+    root = make_tree(
+        {
+            "reputation/fixture.py": """\
+            def n_plus_one(backend, agent_ids):
+                scores = []
+                for agent_id in agent_ids:
+                    scores.append(backend.belief(agent_id))
+                assessments = [backend.assess(a) for a in agent_ids]
+                return scores, assessments
+            """
+        }
+    )
+    result = run_check(root, [NPlusOneRule()])
+    assert len(result.findings) == 2
+    assert "scores_for" in result.findings[0].message
+    assert "assess_many" in result.findings[1].message
+
+
+def test_perf001_clean_fixture(make_tree):
+    root = make_tree(
+        {
+            "reputation/fixture.py": """\
+            def batched(backend, agent_ids):
+                scores = backend.scores_for(agent_ids)
+                single = backend.belief(agent_ids[0])  # not in a loop
+                return scores, single
+            """
+        }
+    )
+    assert run_check(root, [NPlusOneRule()]).clean
+
+
+def test_perf001_loop_iter_is_not_loop_hot(make_tree):
+    root = make_tree(
+        {
+            "reputation/fixture.py": """\
+            def over(backend, agent_ids):
+                for score in backend.scores_for(agent_ids):
+                    yield score
+            """
+        }
+    )
+    assert run_check(root, [NPlusOneRule()]).clean
+
+
+# ---------------------------------------------------------------------------
+# EXC001 — exception hygiene
+# ---------------------------------------------------------------------------
+def test_exc001_flags_silent_broad_except(make_tree):
+    root = make_tree(
+        {
+            "trust/workers_fixture.py": "",
+            "distributed/fixture.py": """\
+            def drain(transport):
+                try:
+                    transport.recv()
+                except Exception:
+                    pass
+            """,
+        }
+    )
+    result = run_check(root, [ExceptionHygieneRule()])
+    assert len(result.findings) == 1
+    assert result.findings[0].path == "distributed/fixture.py"
+
+
+def test_exc001_reraise_and_forward_discharge(make_tree):
+    root = make_tree(
+        {
+            "distributed/fixture.py": """\
+            def reraises(transport):
+                try:
+                    transport.recv()
+                except Exception:
+                    transport.close()
+                    raise
+
+            def forwards(transport):
+                try:
+                    transport.recv()
+                except Exception as exc:
+                    transport.send(("err", exc))
+            """
+        }
+    )
+    assert run_check(root, [ExceptionHygieneRule()]).clean
+
+
+def test_exc001_narrow_handlers_are_out_of_scope(make_tree):
+    root = make_tree(
+        {
+            "distributed/fixture.py": """\
+            def drain(transport):
+                try:
+                    transport.recv()
+                except (EOFError, OSError):
+                    pass
+            """
+        }
+    )
+    assert run_check(root, [ExceptionHygieneRule()]).clean
+
+
+def test_exc001_only_governs_worker_transport_modules(make_tree):
+    root = make_tree(
+        {
+            "simulation/fixture.py": """\
+            def tolerant(thing):
+                try:
+                    thing()
+                except Exception:
+                    pass
+            """
+        }
+    )
+    assert run_check(root, [ExceptionHygieneRule()]).clean
+
+
+# ---------------------------------------------------------------------------
+# DTYPE001 — canonical dtypes
+# ---------------------------------------------------------------------------
+def test_dtype001_flags_narrow_dtypes(make_tree):
+    root = make_tree(
+        {
+            "trust/fixture.py": """\
+            import numpy as np
+
+            def snapshot(rows):
+                alpha = np.zeros(rows, dtype=np.float32)
+                counts = np.zeros(rows, dtype="int32")
+                return alpha, counts
+            """
+        }
+    )
+    result = run_check(root, [CanonicalDtypeRule()])
+    assert len(result.findings) == 2
+
+
+def test_dtype001_clean_fixture_and_storage_exemption(make_tree):
+    root = make_tree(
+        {
+            "trust/fixture.py": """\
+            import numpy as np
+
+            def snapshot(rows):
+                return np.zeros(rows, dtype=np.float64)
+            """,
+            "trust/storage.py": """\
+            import numpy as np
+
+            def compact_chunk(rows):
+                return np.zeros(rows, dtype=np.float32)
+            """,
+        }
+    )
+    assert run_check(root, [CanonicalDtypeRule()]).clean
+
+
+def test_dtype001_ignores_non_numpy_attributes(make_tree):
+    root = make_tree(
+        {
+            "trust/fixture.py": """\
+            def convert(torchlike, rows):
+                return torchlike.float32(rows)  # not a numpy alias
+            """
+        }
+    )
+    assert run_check(root, [CanonicalDtypeRule()]).clean
+
+
+# ---------------------------------------------------------------------------
+# The full default rule set over a mixed tree
+# ---------------------------------------------------------------------------
+def test_default_rules_compose_over_one_tree(make_tree):
+    root = make_tree(
+        {
+            "simulation/fixture.py": """\
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            "distributed/fixture.py": """\
+            def drain(transport):
+                try:
+                    transport.recv()
+                except Exception:
+                    pass
+            """,
+        }
+    )
+    result = run_check(root, default_rules())
+    assert rule_ids(result) == ["DET001", "EXC001"]

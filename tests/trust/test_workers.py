@@ -138,6 +138,27 @@ def test_worker_error_surfaces_and_backend_stays_usable():
         assert len(backend.scores_for(PEERS)) == len(PEERS)
 
 
+def test_worker_error_carries_remote_traceback():
+    """A worker-raised error arrives chained to its worker-side traceback.
+
+    Pickling drops ``__traceback__``, so the worker stamps the formatted
+    traceback onto the exception and the parent re-raises it chained
+    ``from RemoteWorkerTraceback`` — the failure's origin stays debuggable
+    across the process boundary.
+    """
+    from repro.trust.workers import RemoteWorkerTraceback
+
+    with loopback("beta", shards=2) as backend:
+        proxy = backend.shards[0]
+        with pytest.raises(AttributeError) as excinfo:
+            proxy.call("no_such_method")
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, RemoteWorkerTraceback)
+        assert "Traceback" in str(cause)
+        # The channel stays usable after the surfaced error.
+        assert len(backend.scores_for(PEERS)) == len(PEERS)
+
+
 def test_write_error_held_until_next_call():
     with loopback("beta", shards=1) as backend:
         proxy = backend.shards[0]
